@@ -1,0 +1,90 @@
+// Command mavfi-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mavfi-experiments [-exp all|fig3|fig4|table1|fig6|fig7|table2|fig8|fig9|ablations]
+//	                  [-runs N] [-train N] [-seed S] [-fig7csv PATH]
+//
+// With -runs 100 -train 100 the campaigns match the paper's scale (about a
+// thousand simulated missions per environment study); smaller values scale
+// everything down proportionally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mavfi/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: all, fig3, fig4, table1, fig6, fig7, table2, fig8, fig9, ablations")
+		runs    = flag.Int("runs", 100, "missions per campaign cell (paper: 100)")
+		train   = flag.Int("train", 100, "error-free training environments (paper: ~100)")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		fig7csv = flag.String("fig7csv", "", "write Fig. 7 trajectories as CSV to this path prefix")
+	)
+	flag.Parse()
+
+	opts := experiments.PaperOpts()
+	opts.Runs = *runs
+	opts.TrainEnvs = *train
+	opts.Seed = *seed
+	ctx := experiments.NewContext(opts)
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	start := time.Now()
+
+	if want("fig3") {
+		fmt.Print(ctx.Fig3())
+	}
+	if want("fig4") {
+		fmt.Print(ctx.Fig4())
+	}
+	if want("table1") {
+		fmt.Print(ctx.TableI())
+	}
+	if want("fig6") {
+		fmt.Print(ctx.Fig6())
+	}
+	if want("table2") {
+		fmt.Print(ctx.TableII())
+	}
+	if want("fig7") {
+		f7 := ctx.Fig7()
+		fmt.Print(f7)
+		if *fig7csv != "" {
+			for i := range f7.Cases {
+				path := fmt.Sprintf("%s_case%d.csv", strings.TrimSuffix(*fig7csv, ".csv"), i)
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "fig7 csv:", err)
+					os.Exit(1)
+				}
+				if err := f7.WriteCSV(f, i); err != nil {
+					fmt.Fprintln(os.Stderr, "fig7 csv:", err)
+				}
+				f.Close()
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+	if want("fig8") {
+		fmt.Print(ctx.Fig8())
+	}
+	if want("fig9") {
+		fmt.Print(ctx.Fig9())
+	}
+	if want("ablations") {
+		fmt.Print(ctx.AblationSigma())
+		fmt.Print(ctx.AblationPreprocess())
+		fmt.Print(ctx.AblationBottleneck())
+		fmt.Print(ctx.AblationRecovery())
+	}
+
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}

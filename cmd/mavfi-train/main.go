@@ -1,0 +1,58 @@
+// Command mavfi-train fits the anomaly detectors on error-free flights
+// through randomised training environments and writes the models as JSON,
+// ready to deploy on a vehicle (or load into a later campaign).
+//
+// Usage:
+//
+//	mavfi-train [-envs 100] [-seed 1] [-sigma 4] [-epochs 30]
+//	            [-gad gad.json] [-aad aad.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mavfi/internal/detect"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/platform"
+)
+
+func main() {
+	var (
+		envs    = flag.Int("envs", 100, "error-free training environments")
+		seed    = flag.Int64("seed", 1, "training seed")
+		sigma   = flag.Float64("sigma", 4, "GAD n-sigma threshold")
+		epochs  = flag.Int("epochs", 30, "AAD training epochs")
+		gadPath = flag.String("gad", "gad.json", "output path for the Gaussian model")
+		aadPath = flag.String("aad", "aad.json", "output path for the autoencoder model")
+	)
+	flag.Parse()
+
+	fmt.Printf("collecting training data from %d environments...\n", *envs)
+	data := pipeline.CollectTrainingData(*envs, *seed, platform.I9())
+	fmt.Printf("  %d samples\n", len(data))
+
+	gad := pipeline.TrainGAD(data, *sigma)
+	cfg := detect.DefaultAADConfig()
+	cfg.Epochs = *epochs
+	aad := pipeline.TrainAAD(data, cfg, *seed+2000)
+	fmt.Printf("trained GAD (n=%.1f) and AAD (threshold %.3f, %d params)\n",
+		*sigma, aad.Threshold, aad.Params())
+
+	write := func(path string, save func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	write(*gadPath, func(f *os.File) error { return detect.SaveGAD(f, gad) })
+	write(*aadPath, func(f *os.File) error { return detect.SaveAAD(f, aad) })
+}

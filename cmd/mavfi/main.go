@@ -1,0 +1,151 @@
+// Command mavfi runs a fault-injection campaign: N missions with one-time
+// single-bit injections into a chosen kernel or inter-kernel state, with
+// optional anomaly detection & recovery, reporting success rate and
+// flight-time statistics against the golden baseline.
+//
+// Usage:
+//
+//	mavfi [-env sparse] [-kernel pcgen|octomap|colcheck|planner|pid]
+//	      [-state time_to_collision|...|vz]
+//	      [-detector none|gad|aad] [-runs 100] [-train 50] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mavfi/internal/detect"
+	"mavfi/internal/env"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/platform"
+	"mavfi/internal/qof"
+)
+
+var kernelNames = map[string]faultinject.Kernel{
+	"pcgen":    faultinject.KernelPCGen,
+	"octomap":  faultinject.KernelOctoMap,
+	"colcheck": faultinject.KernelColCheck,
+	"planner":  faultinject.KernelPlanner,
+	"pid":      faultinject.KernelPID,
+}
+
+func stateByName(name string) (faultinject.StateID, bool) {
+	for s := faultinject.StateID(0); s < faultinject.NumInjectableStates; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		envName  = flag.String("env", "sparse", "environment: factory, farm, sparse, dense")
+		kernel   = flag.String("kernel", "", "kernel to inject (instruction-level mode)")
+		state    = flag.String("state", "", "inter-kernel state to corrupt (message-level mode)")
+		detector = flag.String("detector", "none", "protection: none, gad, aad")
+		runs     = flag.Int("runs", 100, "fault-injection missions")
+		train    = flag.Int("train", 50, "training environments when a detector is enabled")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+	)
+	flag.Parse()
+
+	var world *env.World
+	rng := rand.New(rand.NewSource(1))
+	switch *envName {
+	case "factory":
+		world = env.Factory()
+	case "farm":
+		world = env.Farm()
+	case "sparse":
+		world = env.Sparse(rng)
+	case "dense":
+		world = env.Dense(rng)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown env %q\n", *envName)
+		os.Exit(2)
+	}
+
+	if (*kernel == "") == (*state == "") {
+		fmt.Fprintln(os.Stderr, "specify exactly one of -kernel or -state")
+		os.Exit(2)
+	}
+
+	var det func() detect.Detector
+	switch *detector {
+	case "none":
+	case "gad", "aad":
+		fmt.Printf("training detectors on %d environments...\n", *train)
+		data := pipeline.CollectTrainingData(*train, *seed+1000, platform.I9())
+		if *detector == "gad" {
+			gad := pipeline.TrainGAD(data, 4)
+			det = func() detect.Detector { g := *gad; return &g }
+		} else {
+			aad := pipeline.TrainAAD(data, detect.DefaultAADConfig(), *seed+2000)
+			det = func() detect.Detector { return aad }
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown detector %q\n", *detector)
+		os.Exit(2)
+	}
+
+	// Golden baseline.
+	golden := &qof.Campaign{Name: "golden"}
+	for i := 0; i < *runs; i++ {
+		res := pipeline.RunMission(pipeline.Config{World: world, Seed: *seed + int64(i)})
+		golden.Add(res.Metrics)
+	}
+
+	// Injection campaign.
+	ctr := faultinject.NewCounter()
+	pipeline.RunMission(pipeline.Config{World: world, Seed: *seed + 555, Counter: ctr})
+	planRNG := rand.New(rand.NewSource(*seed + 42))
+	nominal := pipeline.NominalDuration(pipeline.Config{World: world})
+
+	camp := &qof.Campaign{Name: "injection"}
+	injected := 0
+	for i := 0; i < *runs; i++ {
+		cfg := pipeline.Config{World: world, Seed: *seed + int64(i)}
+		if *kernel != "" {
+			k, ok := kernelNames[*kernel]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+				os.Exit(2)
+			}
+			plan := faultinject.NewPlan(k, ctr.Count(k), planRNG)
+			cfg.KernelFault = &plan
+		} else {
+			s, ok := stateByName(*state)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown state %q\n", *state)
+				os.Exit(2)
+			}
+			plan := faultinject.NewStatePlan(s, nominal*0.15, nominal*0.85, planRNG)
+			cfg.StateFault = &plan
+		}
+		if det != nil {
+			cfg.Detector = det()
+		}
+		res := pipeline.RunMission(cfg)
+		if res.Injected {
+			injected++
+		}
+		camp.Add(res.Metrics)
+	}
+
+	report("golden    ", golden)
+	report("injection ", camp)
+	fmt.Printf("injections fired: %d/%d\n", injected, *runs)
+	g, c := golden.SuccessRate(), camp.SuccessRate()
+	if g > c {
+		fmt.Printf("success-rate drop: %.1f%%\n", (g-c)*100)
+	}
+}
+
+func report(name string, c *qof.Campaign) {
+	s := c.FlightTimeSummary()
+	fmt.Printf("%s n=%d success=%.1f%% flight time %s\n", name, c.N(), c.SuccessRate()*100, s)
+}

@@ -1,0 +1,191 @@
+// Package control implements the control stage of the PPC pipeline: the
+// path-tracking kernel that follows the planned multi-DOF trajectory with a
+// PID position loop, and the command-issue step that emits velocity flight
+// commands toward the flight controller. Its outputs (vx, vy, vz) are the
+// control-stage inter-kernel states the paper corrupts and monitors.
+package control
+
+import (
+	"math"
+
+	"mavfi/internal/geom"
+	"mavfi/internal/planning"
+)
+
+// PID is a scalar proportional-integral-derivative regulator with output
+// clamping and integral anti-windup.
+type PID struct {
+	Kp, Ki, Kd float64
+	OutMin     float64
+	OutMax     float64
+
+	integral float64
+	prevErr  float64
+	hasPrev  bool
+}
+
+// Reset clears the regulator's internal state.
+func (p *PID) Reset() {
+	p.integral = 0
+	p.prevErr = 0
+	p.hasPrev = false
+}
+
+// Step advances the regulator by dt with the given error and returns the
+// control output.
+func (p *PID) Step(err, dt float64) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	deriv := 0.0
+	if p.hasPrev {
+		deriv = (err - p.prevErr) / dt
+	}
+	p.prevErr = err
+	p.hasPrev = true
+	p.integral += err * dt
+	out := p.Kp*err + p.Ki*p.integral + p.Kd*deriv
+	if p.OutMax > p.OutMin {
+		if out > p.OutMax {
+			out = p.OutMax
+			p.integral -= err * dt // anti-windup: don't accumulate while saturated
+		} else if out < p.OutMin {
+			out = p.OutMin
+			p.integral -= err * dt
+		}
+	}
+	return out
+}
+
+// Tracker is the path-tracking/command-issue kernel.
+type Tracker struct {
+	// Lookahead is the along-trajectory pursuit distance in metres.
+	Lookahead float64
+	// MaxSpeed clamps commanded velocity.
+	MaxSpeed float64
+
+	pidX, pidY, pidZ PID
+
+	traj    *planning.Trajectory
+	nearest int // index of last matched way-point, monotone per trajectory
+}
+
+// NewTracker returns the kernel with the experiment gains.
+func NewTracker(maxSpeed float64) *Tracker {
+	mk := func() PID {
+		return PID{Kp: 1.2, Ki: 0.02, Kd: 0.15, OutMin: -maxSpeed, OutMax: maxSpeed}
+	}
+	return &Tracker{
+		Lookahead: 2.0,
+		MaxSpeed:  maxSpeed,
+		pidX:      mk(), pidY: mk(), pidZ: mk(),
+	}
+}
+
+// SetTrajectory installs a new trajectory to follow and resets tracking
+// state (the recomputation path after planning-stage recovery also lands
+// here).
+func (t *Tracker) SetTrajectory(tr *planning.Trajectory) {
+	t.traj = tr
+	t.nearest = 0
+	t.pidX.Reset()
+	t.pidY.Reset()
+	t.pidZ.Reset()
+}
+
+// Trajectory returns the trajectory currently tracked (nil before the first
+// plan).
+func (t *Tracker) Trajectory() *planning.Trajectory { return t.traj }
+
+// Progress returns the fraction of trajectory way-points already passed.
+func (t *Tracker) Progress() float64 {
+	if t.traj == nil || len(t.traj.Points) < 2 {
+		return 0
+	}
+	return float64(t.nearest) / float64(len(t.traj.Points)-1)
+}
+
+// NearestIndex returns the index of the last matched way-point.
+func (t *Tracker) NearestIndex() int { return t.nearest }
+
+// SelectTarget advances the matched way-point to the vehicle position and
+// returns the look-ahead way-point the control loop will pursue, plus its
+// trajectory index. This is the "Multidoftraj" inter-kernel state the
+// detectors monitor and MAVFI corrupts; ok is false when no trajectory is
+// installed.
+func (t *Tracker) SelectTarget(pos geom.Vec3) (target planning.Waypoint, index int, ok bool) {
+	if t.traj == nil || len(t.traj.Points) == 0 {
+		return planning.Waypoint{}, 0, false
+	}
+	pts := t.traj.Points
+
+	// Advance the matched way-point monotonically to the closest point.
+	for t.nearest+1 < len(pts) &&
+		pts[t.nearest+1].Pos.DistSq(pos) <= pts[t.nearest].Pos.DistSq(pos) {
+		t.nearest++
+	}
+
+	// Pursue a look-ahead point.
+	li := t.nearest
+	for li+1 < len(pts) && pts[li].Pos.Dist(pos) < t.Lookahead {
+		li++
+	}
+	return pts[li], li, true
+}
+
+// SetWaypoint overwrites trajectory way-point index i, the write-back path
+// used when a corrupted or recovered way-point must persist in the
+// trajectory (inter-kernel states live in the trajectory message until the
+// way-point is passed or a replan replaces it).
+func (t *Tracker) SetWaypoint(i int, wp planning.Waypoint) {
+	if t.traj != nil && i >= 0 && i < len(t.traj.Points) {
+		t.traj.Points[i] = wp
+	}
+}
+
+// TrackTo computes the velocity flight command pursuing target from pos
+// with dt since the last call.
+//
+// corrupt, when non-nil, is applied to the target position computation — an
+// auxiliary injection hook kept for unit-level fault studies (the pipeline
+// injects the control kernel through its persistent setpoint instead; see
+// internal/pipeline). The anti-windup clamp bounds how much a one-shot
+// corrupted target can pollute the PID integral state.
+func (t *Tracker) TrackTo(target planning.Waypoint, pos geom.Vec3, dt float64, corrupt func(float64) float64) (cmd geom.Vec3, yaw float64, done bool) {
+	tx, ty, tz := target.Pos.X, target.Pos.Y, target.Pos.Z
+	if corrupt != nil {
+		tx = corrupt(tx)
+		ty = corrupt(ty)
+		tz = corrupt(tz)
+	}
+
+	vx := t.pidX.Step(tx-pos.X, dt) + target.Vel.X
+	vy := t.pidY.Step(ty-pos.Y, dt) + target.Vel.Y
+	vz := t.pidZ.Step(tz-pos.Z, dt) + target.Vel.Z
+
+	cmd = geom.V(vx, vy, vz)
+	if !cmd.IsFinite() {
+		cmd = geom.Vec3{}
+	}
+	cmd = cmd.ClampLen(t.MaxSpeed)
+	yaw = target.Yaw
+	if math.IsNaN(yaw) || math.IsInf(yaw, 0) {
+		yaw = 0
+	}
+
+	if t.traj != nil && len(t.traj.Points) > 0 {
+		pts := t.traj.Points
+		done = t.nearest >= len(pts)-1 && pos.Dist(pts[len(pts)-1].Pos) < 0.75
+	}
+	return cmd, yaw, done
+}
+
+// Command is SelectTarget followed by TrackTo, the single-call form used by
+// tests and simple clients.
+func (t *Tracker) Command(pos geom.Vec3, dt float64, corrupt func(float64) float64) (cmd geom.Vec3, yaw float64, done bool) {
+	target, _, ok := t.SelectTarget(pos)
+	if !ok {
+		return geom.Vec3{}, 0, false
+	}
+	return t.TrackTo(target, pos, dt, corrupt)
+}

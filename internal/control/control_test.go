@@ -1,0 +1,240 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"mavfi/internal/geom"
+	"mavfi/internal/planning"
+)
+
+func TestPIDConvergesToSetpoint(t *testing.T) {
+	pid := PID{Kp: 1.5, Ki: 0.1, Kd: 0.05, OutMin: -5, OutMax: 5}
+	// Simulated first-order plant: x' = u.
+	x := 0.0
+	for i := 0; i < 300; i++ {
+		u := pid.Step(10-x, 0.05)
+		x += u * 0.05
+	}
+	if math.Abs(x-10) > 0.2 {
+		t.Errorf("plant settled at %v, want 10", x)
+	}
+}
+
+func TestPIDOutputClamp(t *testing.T) {
+	pid := PID{Kp: 100, OutMin: -2, OutMax: 2}
+	if out := pid.Step(1000, 0.1); out != 2 {
+		t.Errorf("clamped output = %v", out)
+	}
+	if out := pid.Step(-1000, 0.1); out != -2 {
+		t.Errorf("clamped output = %v", out)
+	}
+}
+
+func TestPIDAntiWindup(t *testing.T) {
+	pid := PID{Kp: 0.1, Ki: 1, OutMin: -1, OutMax: 1}
+	// Saturate hard for a long time.
+	for i := 0; i < 100; i++ {
+		pid.Step(100, 0.1)
+	}
+	// After the error flips, a wound-up integrator would stay pinned at
+	// +1 for many steps; anti-windup recovers quickly.
+	recovered := false
+	for i := 0; i < 5; i++ {
+		if pid.Step(-100, 0.1) < 0 {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Error("integral windup not prevented")
+	}
+}
+
+func TestPIDResetAndZeroDt(t *testing.T) {
+	pid := PID{Kp: 1, Ki: 1, Kd: 1}
+	pid.Step(5, 0.1)
+	pid.Reset()
+	if out := pid.Step(0, 0.1); out != 0 {
+		t.Errorf("after reset, zero error output = %v", out)
+	}
+	if out := pid.Step(99, 0); out != 0 {
+		t.Errorf("zero-dt output = %v", out)
+	}
+}
+
+func straightTrajectory() *planning.Trajectory {
+	tr := &planning.Trajectory{}
+	for i := 0; i <= 30; i++ {
+		tr.Points = append(tr.Points, planning.Waypoint{
+			Pos: geom.V(float64(i), 0, 2),
+			Vel: geom.V(3, 0, 0),
+			Yaw: 0,
+			T:   float64(i) / 3,
+		})
+	}
+	tr.Points[len(tr.Points)-1].Vel = geom.Vec3{}
+	return tr
+}
+
+func TestTrackerFollowsTrajectory(t *testing.T) {
+	tk := NewTracker(5)
+	tk.SetTrajectory(straightTrajectory())
+	pos := geom.V(0, 0.5, 2) // offset from the path
+	dt := 0.1
+	var done bool
+	for i := 0; i < 400 && !done; i++ {
+		var cmd geom.Vec3
+		cmd, _, done = tk.Command(pos, dt, nil)
+		pos = pos.Add(cmd.Scale(dt))
+	}
+	if !done {
+		t.Fatalf("never finished; stuck at %v (progress %.2f)", pos, tk.Progress())
+	}
+	if pos.Dist(geom.V(30, 0, 2)) > 1.5 {
+		t.Errorf("finished far from goal: %v", pos)
+	}
+	if math.Abs(pos.Y) > 0.6 {
+		t.Errorf("cross-track error %v not regulated", pos.Y)
+	}
+}
+
+func TestTrackerNoTrajectory(t *testing.T) {
+	tk := NewTracker(5)
+	cmd, yaw, done := tk.Command(geom.V(0, 0, 0), 0.1, nil)
+	if cmd != (geom.Vec3{}) || yaw != 0 || done {
+		t.Errorf("no-trajectory command: %v %v %v", cmd, yaw, done)
+	}
+	if _, _, ok := tk.SelectTarget(geom.V(0, 0, 0)); ok {
+		t.Error("target selected with no trajectory")
+	}
+}
+
+func TestTrackerSelectTargetLookahead(t *testing.T) {
+	tk := NewTracker(5)
+	tk.SetTrajectory(straightTrajectory())
+	target, idx, ok := tk.SelectTarget(geom.V(5, 0, 2))
+	if !ok {
+		t.Fatal("no target")
+	}
+	// Look-ahead of 2 m from x=5 → target around x=7.
+	if target.Pos.X < 6 || target.Pos.X > 9 {
+		t.Errorf("target at %v", target.Pos)
+	}
+	if idx < 6 || idx > 9 {
+		t.Errorf("index %d", idx)
+	}
+	// Monotone matched index.
+	_, idx2, _ := tk.SelectTarget(geom.V(10, 0, 2))
+	if idx2 < idx {
+		t.Errorf("index went backwards: %d then %d", idx, idx2)
+	}
+	if tk.NearestIndex() < 5 {
+		t.Errorf("nearest = %d", tk.NearestIndex())
+	}
+}
+
+func TestTrackerSetWaypoint(t *testing.T) {
+	tk := NewTracker(5)
+	tk.SetTrajectory(straightTrajectory())
+	wp := planning.Waypoint{Pos: geom.V(99, 99, 99)}
+	tk.SetWaypoint(5, wp)
+	if tk.Trajectory().Points[5].Pos != wp.Pos {
+		t.Error("SetWaypoint did not write through")
+	}
+	// Out-of-range writes are ignored, not panics.
+	tk.SetWaypoint(-1, wp)
+	tk.SetWaypoint(999, wp)
+	tk.SetTrajectory(nil)
+	tk.SetWaypoint(0, wp) // nil trajectory: no-op
+}
+
+func TestTrackerCorruptTargetNaNGuard(t *testing.T) {
+	tk := NewTracker(5)
+	tk.SetTrajectory(straightTrajectory())
+	cmd, yaw, _ := tk.Command(geom.V(0, 0, 2), 0.1, func(x float64) float64 {
+		return math.NaN()
+	})
+	if !cmd.IsFinite() {
+		t.Errorf("NaN target produced non-finite command %v", cmd)
+	}
+	if math.IsNaN(yaw) {
+		t.Error("NaN yaw leaked")
+	}
+}
+
+func TestTrackerCorruptedTargetChangesCommand(t *testing.T) {
+	// A corrupted cross-track target coordinate must visibly skew the
+	// command direction, while the anti-windup clamp keeps the corruption
+	// from winding up the integrator indefinitely.
+	clean := NewTracker(5)
+	dirty := NewTracker(5)
+	clean.SetTrajectory(straightTrajectory())
+	dirty.SetTrajectory(straightTrajectory())
+	pos := geom.V(5, 0, 2)
+
+	calls := 0
+	hook := func(x float64) float64 {
+		calls++
+		if calls == 2 { // corrupt ty, the cross-track coordinate
+			return x + 1e6
+		}
+		return x
+	}
+	c1, _, _ := clean.Command(pos, 0.1, nil)
+	d1, _, _ := dirty.Command(pos, 0.1, hook)
+	if c1.Dist(d1) < 0.5 {
+		t.Errorf("corrupted command %v too close to clean %v", d1, c1)
+	}
+	// The anti-windup clamp bounds the aftermath: a few clean ticks later
+	// the two controllers agree again.
+	var c2, d2 geom.Vec3
+	for i := 0; i < 10; i++ {
+		c2, _, _ = clean.Command(pos, 0.1, nil)
+		d2, _, _ = dirty.Command(pos, 0.1, nil)
+	}
+	if c2.Dist(d2) > 0.5 {
+		t.Errorf("commands still diverged after recovery window: %v vs %v", c2, d2)
+	}
+}
+
+func TestTrackerCorruptedFeedForwardPersists(t *testing.T) {
+	// The pipeline's control-kernel injection path: a corrupted
+	// feed-forward velocity written back into the pursued way-point keeps
+	// skewing commands until the way-point is replaced.
+	tk := NewTracker(5)
+	tk.SetTrajectory(straightTrajectory())
+	pos := geom.V(5, 0, 2)
+	target, idx, _ := tk.SelectTarget(pos)
+	target.Vel.Y = 4 // corrupted feed-forward
+	tk.SetWaypoint(idx, target)
+
+	cmd, _, _ := tk.TrackTo(tk.Trajectory().Points[idx], pos, 0.1, nil)
+	if cmd.Y < 1 {
+		t.Errorf("corrupted feed-forward not reflected: %v", cmd)
+	}
+	// Restoring the way-point clears the effect.
+	target.Vel.Y = 0
+	tk.SetWaypoint(idx, target)
+	cmd2, _, _ := tk.TrackTo(tk.Trajectory().Points[idx], pos, 0.1, nil)
+	if cmd2.Y > 1 {
+		t.Errorf("restored way-point still skewed: %v", cmd2)
+	}
+}
+
+func TestTrackerProgressAndDone(t *testing.T) {
+	tk := NewTracker(5)
+	tk.SetTrajectory(straightTrajectory())
+	if tk.Progress() != 0 {
+		t.Errorf("initial progress = %v", tk.Progress())
+	}
+	// Jump to the end.
+	target, _, _ := tk.SelectTarget(geom.V(30, 0, 2))
+	_, _, done := tk.TrackTo(target, geom.V(30, 0, 2), 0.1, nil)
+	if !done {
+		t.Error("not done at the terminal way-point")
+	}
+	if tk.Progress() < 0.99 {
+		t.Errorf("progress = %v", tk.Progress())
+	}
+}

@@ -1,0 +1,144 @@
+package detect
+
+import (
+	"mavfi/internal/faultinject"
+	"mavfi/internal/stats"
+)
+
+// GAD is the Gaussian-based anomaly detection scheme (§IV-C): one customised
+// Gaussian detector (cGAD) per monitored inter-kernel state, grouped per PPC
+// stage. Each cGAD maintains an online Gaussian model of its state's delta
+// via the paper's Welford recurrences (Eqs. 1–2); a sample more than NSigma
+// standard deviations from the mean raises the stage's alarm, triggering
+// recomputation of that stage.
+//
+// GAD judges each state independently — it has no cross-state correlation
+// information, the structural weakness the paper contrasts with AAD.
+type GAD struct {
+	// NSigma is the alarm threshold in standard deviations (the paper's
+	// configurable n, default 3).
+	NSigma float64
+	// MinSamples gates alarming until each cGAD has seen this many
+	// samples, avoiding warm-up false positives.
+	MinSamples int
+	// Online, when true, keeps updating the Gaussian models with
+	// non-anomalous in-mission samples after pre-training.
+	Online bool
+	// SigmaFloor, when positive, overrides the per-state floors with one
+	// uniform minimum σ (used by the preprocessing ablation).
+	SigmaFloor float64
+	// floors are the per-state minimum effective standard deviations, in
+	// preprocessed-delta units. A near-constant state (e.g.
+	// future_collision_seq sits at -1 for most of a flight) would
+	// otherwise collapse to σ≈0 and alarm on arbitrarily small noise.
+	// One delta unit is a ×2 value change: smooth magnitude states
+	// (way-points, positions) keep a low 0.2 floor so single-exponent
+	// displacement corruption stays detectable (n·0.2 < 1), while states
+	// with coarse legitimate jumps (time-to-collision during braking,
+	// collision sequence indices, acceleration under gusts) get a full
+	// 1.0 unit of slack.
+	floors [NumStates]float64
+
+	cgads [NumStates]stats.Welford
+}
+
+// defaultFloors returns the per-state σ floors described above.
+func defaultFloors() [NumStates]float64 {
+	var f [NumStates]float64
+	for i := range f {
+		f[i] = 0.2
+	}
+	f[faultinject.StateTimeToCollision] = 1.0
+	f[faultinject.StateFutureColSeq] = 1.0
+	f[faultinject.StateAccMag] = 1.0
+	f[faultinject.StateVelX] = 0.5
+	f[faultinject.StateVelY] = 0.5
+	f[faultinject.StateVelZ] = 0.5
+	// Fused-position echoes are monitor-only states (not injection
+	// targets); a wider floor suppresses alarms from legitimate
+	// power-of-two magnitude crossings as the vehicle traverses the map.
+	f[faultinject.StatePosX] = 0.5
+	f[faultinject.StatePosY] = 0.5
+	f[faultinject.StatePosZ] = 0.5
+	return f
+}
+
+// NewGAD returns a GAD with the experiment defaults (online updates enabled,
+// per-state σ floors).
+func NewGAD(nSigma float64) *GAD {
+	return &GAD{NSigma: nSigma, MinSamples: 25, Online: true, floors: defaultFloors()}
+}
+
+// inRange applies the n-sigma test with the state's σ floor.
+func (g *GAD) inRange(i int, cg *stats.Welford, x float64) bool {
+	floor := g.floors[i]
+	if g.SigmaFloor > 0 {
+		floor = g.SigmaFloor
+	}
+	sd := cg.Std()
+	if sd < floor {
+		sd = floor
+	}
+	d := x - cg.Mean()
+	if d < 0 {
+		d = -d
+	}
+	// NaN deltas (possible under exponent-field corruption) must fail the
+	// range test: NaN comparisons are false, so check the negation.
+	return d <= g.NSigma*sd
+}
+
+// Name implements Detector.
+func (g *GAD) Name() string { return "Gaussian" }
+
+// Reset implements Detector. The trained Gaussian models persist across
+// missions; only transient per-mission state would be cleared, and GAD has
+// none.
+func (g *GAD) Reset() {}
+
+// Train folds one error-free preprocessed sample into the Gaussian models;
+// the campaign calls this over recordings from the hundred randomised
+// training environments.
+func (g *GAD) Train(deltas [NumStates]float64) {
+	for i, d := range deltas {
+		g.cgads[i].Add(d)
+	}
+}
+
+// TrainedSamples returns the per-state sample count of the first cGAD, a
+// training-progress probe.
+func (g *GAD) TrainedSamples() int { return g.cgads[0].N() }
+
+// Sigma exposes cGAD i's current deviation for a value, for tests and the
+// sigma-sweep ablation.
+func (g *GAD) Sigma(i int, x float64) float64 { return g.cgads[i].Sigma(x) }
+
+// Observe implements Detector: each cGAD range-checks its state's delta;
+// out-of-range states raise their stage's alarm. Normal samples optionally
+// continue updating the model online.
+func (g *GAD) Observe(t float64, deltas [NumStates]float64) []Recovery {
+	var alarmed [3]bool
+	anyAlarm := false
+	for i, d := range deltas {
+		cg := &g.cgads[i]
+		if cg.N() >= g.MinSamples && !g.inRange(i, cg, d) {
+			st := faultinject.StateStage(faultinject.StateID(i))
+			alarmed[st] = true
+			anyAlarm = true
+			continue // anomalous sample: do not fold into the model
+		}
+		if g.Online {
+			cg.Add(d)
+		}
+	}
+	if !anyAlarm {
+		return nil
+	}
+	var out []Recovery
+	for st, a := range alarmed {
+		if a {
+			out = append(out, Recovery{Stage: faultinject.Stage(st), T: t})
+		}
+	}
+	return out
+}

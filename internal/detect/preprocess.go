@@ -1,0 +1,117 @@
+// Package detect implements the paper's two anomaly detection and recovery
+// schemes: Gaussian-based (GAD, §IV-C) and autoencoder-based (AAD, §IV-D),
+// plus the shared data-preprocessing front end (§IV-B).
+//
+// Both detectors watch the same 13 inter-kernel states each control tick
+// and, on an alarm, emit the stage(s) whose recomputation stops the error
+// from propagating further down the PPC pipeline.
+package detect
+
+import (
+	"math"
+
+	"mavfi/internal/faultinject"
+)
+
+// NumStates is the monitored-state vector width (13, the paper's
+// autoencoder input size).
+const NumStates = int(faultinject.NumMonitoredStates)
+
+// StateVector is one tick's snapshot of the monitored inter-kernel states,
+// indexed by faultinject.StateID.
+type StateVector [NumStates]float64
+
+// SignExp performs the paper's raw data-format transformation: the sign and
+// exponent bits of a float64 are extracted into a 16-bit integer (bits
+// 52–63, a 12-bit value). Mantissa corruption is insignificant for value
+// magnitude, so monitoring only sign+exponent cuts detector cost while
+// keeping sensitivity to the impactful bit flips (§III-B).
+func SignExp(x float64) int16 {
+	return int16(math.Float64bits(x) >> 52)
+}
+
+// deadbandExp is the IEEE-754 biased exponent of the noise floor 2⁻² =
+// 0.25: state magnitudes below it are physically indistinguishable from
+// hover noise.
+const deadbandExp = 1021
+
+// SignExpDeadband is the production variant of the transform: a signed
+// exponent with a deadband at the noise floor. It maps x to
+// sign(x)·max(exp(x) − floor, 0), so a velocity oscillating around zero
+// transforms to a constant 0 instead of flapping its sign bit (a ±2048
+// swing in the raw transform that would swamp the detectors), while
+// magnitude-scale corruption still produces large deltas. Non-finite values
+// map to the saturated extreme.
+func SignExpDeadband(x float64) int16 {
+	bits := math.Float64bits(x)
+	exp := int((bits >> 52) & 0x7FF)
+	mag := exp - deadbandExp
+	if mag < 0 {
+		mag = 0
+	}
+	if bits>>63 == 1 {
+		return int16(-mag)
+	}
+	return int16(mag)
+}
+
+// Preprocessor implements the two-step preprocessing block: data-format
+// transformation followed by per-state delta computation (the change of the
+// transformed value between consecutive time points). Delta distributions
+// are near-Gaussian and much narrower than the raw values, widening the
+// normal/anomaly separation.
+type Preprocessor struct {
+	prev    [NumStates]int16
+	hasPrev bool
+
+	// Raw, when true, bypasses the sign+exponent transform and computes
+	// deltas of the raw float64 values instead — the ablation arm of the
+	// preprocessing design choice.
+	Raw     bool
+	prevRaw [NumStates]float64
+}
+
+// Reset clears history (start of a new mission).
+func (p *Preprocessor) Reset() {
+	*p = Preprocessor{Raw: p.Raw}
+}
+
+// Process converts the state snapshot into the detector input: per-state
+// deltas of the transformed values. ready is false for the first sample of
+// a mission, which has no predecessor.
+func (p *Preprocessor) Process(v StateVector) (deltas [NumStates]float64, ready bool) {
+	if p.Raw {
+		for i, x := range v {
+			deltas[i] = x - p.prevRaw[i]
+			p.prevRaw[i] = x
+		}
+	} else {
+		for i, x := range v {
+			cur := SignExpDeadband(x)
+			deltas[i] = float64(int(cur) - int(p.prev[i]))
+			p.prev[i] = cur
+		}
+	}
+	ready = p.hasPrev
+	p.hasPrev = true
+	return deltas, ready
+}
+
+// Recovery is one recovery request raised by a detector: recompute the
+// given stage at mission time T.
+type Recovery struct {
+	Stage faultinject.Stage
+	T     float64
+}
+
+// Detector is an anomaly detection scheme plugged into the pipeline's
+// anomaly-detection ROS node.
+type Detector interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Observe consumes one tick's preprocessed deltas and returns the
+	// stages to recompute (empty when no anomaly).
+	Observe(t float64, deltas [NumStates]float64) []Recovery
+	// Reset clears per-mission state while keeping the trained model.
+	Reset()
+}

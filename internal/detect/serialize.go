@@ -1,0 +1,163 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mavfi/internal/nn"
+)
+
+// This file implements detector model persistence: a campaign trains the
+// detectors once on the ground station and the serialised models deploy to
+// the vehicle. The format is plain JSON — inspectable, diffable, and
+// dependency-free.
+
+// gadModel is the serialised form of a GAD.
+type gadModel struct {
+	Version    int           `json:"version"`
+	NSigma     float64       `json:"n_sigma"`
+	MinSamples int           `json:"min_samples"`
+	Online     bool          `json:"online"`
+	SigmaFloor float64       `json:"sigma_floor,omitempty"`
+	Floors     []float64     `json:"floors"`
+	CGADs      []welfordJSON `json:"cgads"`
+}
+
+type welfordJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	S    float64 `json:"s"`
+}
+
+// SaveGAD serialises a trained Gaussian detector.
+func SaveGAD(w io.Writer, g *GAD) error {
+	m := gadModel{
+		Version:    1,
+		NSigma:     g.NSigma,
+		MinSamples: g.MinSamples,
+		Online:     g.Online,
+		SigmaFloor: g.SigmaFloor,
+		Floors:     g.floors[:],
+	}
+	for i := range g.cgads {
+		n, mean, s := g.cgads[i].State()
+		m.CGADs = append(m.CGADs, welfordJSON{N: n, Mean: mean, S: s})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// LoadGAD deserialises a Gaussian detector.
+func LoadGAD(r io.Reader) (*GAD, error) {
+	var m gadModel
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("detect: decoding GAD model: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("detect: unsupported GAD model version %d", m.Version)
+	}
+	if len(m.CGADs) != NumStates || len(m.Floors) != NumStates {
+		return nil, fmt.Errorf("detect: GAD model has %d states, want %d", len(m.CGADs), NumStates)
+	}
+	g := &GAD{
+		NSigma:     m.NSigma,
+		MinSamples: m.MinSamples,
+		Online:     m.Online,
+		SigmaFloor: m.SigmaFloor,
+	}
+	copy(g.floors[:], m.Floors)
+	for i, c := range m.CGADs {
+		g.cgads[i].Restore(c.N, c.Mean, c.S)
+	}
+	return g, nil
+}
+
+// aadModel is the serialised form of an AAD.
+type aadModel struct {
+	Version   int         `json:"version"`
+	Mean      []float64   `json:"mean"`
+	Std       []float64   `json:"std"`
+	Threshold float64     `json:"threshold"`
+	Margin    float64     `json:"margin"`
+	Layers    []layerJSON `json:"layers"`
+}
+
+type layerJSON struct {
+	In  int         `json:"in"`
+	Out int         `json:"out"`
+	Act int         `json:"act"`
+	W   [][]float64 `json:"w"`
+	B   []float64   `json:"b"`
+}
+
+// SaveAAD serialises a trained autoencoder detector.
+func SaveAAD(w io.Writer, a *AAD) error {
+	if !a.trained {
+		return fmt.Errorf("detect: refusing to save an untrained AAD")
+	}
+	m := aadModel{
+		Version:   1,
+		Mean:      a.mean[:],
+		Std:       a.std[:],
+		Threshold: a.Threshold,
+		Margin:    a.Margin,
+	}
+	for _, l := range a.net.Layers {
+		m.Layers = append(m.Layers, layerJSON{
+			In: l.In, Out: l.Out, Act: int(l.Act), W: l.W, B: l.B,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// LoadAAD deserialises an autoencoder detector.
+func LoadAAD(r io.Reader) (*AAD, error) {
+	var m aadModel
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("detect: decoding AAD model: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("detect: unsupported AAD model version %d", m.Version)
+	}
+	if len(m.Mean) != NumStates || len(m.Std) != NumStates {
+		return nil, fmt.Errorf("detect: AAD model dimension %d, want %d", len(m.Mean), NumStates)
+	}
+	if len(m.Layers) == 0 {
+		return nil, fmt.Errorf("detect: AAD model has no layers")
+	}
+	if m.Layers[0].In != NumStates || m.Layers[len(m.Layers)-1].Out != NumStates {
+		return nil, fmt.Errorf("detect: AAD model input/output width mismatch")
+	}
+
+	a := &AAD{Threshold: m.Threshold, Margin: m.Margin, trained: true}
+	copy(a.mean[:], m.Mean)
+	copy(a.std[:], m.Std)
+
+	// Rebuild the network and install the weights.
+	sizes := []int{m.Layers[0].In}
+	acts := make([]nn.Activation, 0, len(m.Layers))
+	for _, l := range m.Layers {
+		sizes = append(sizes, l.Out)
+		acts = append(acts, nn.Activation(l.Act))
+	}
+	a.net = nn.NewNetwork(sizes, acts, rand.New(rand.NewSource(0)))
+	for li, l := range m.Layers {
+		dst := a.net.Layers[li]
+		if dst.In != l.In || dst.Out != l.Out || len(l.W) != l.Out || len(l.B) != l.Out {
+			return nil, fmt.Errorf("detect: AAD layer %d shape mismatch", li)
+		}
+		for i := range l.W {
+			if len(l.W[i]) != l.In {
+				return nil, fmt.Errorf("detect: AAD layer %d row %d width mismatch", li, i)
+			}
+			copy(dst.W[i], l.W[i])
+		}
+		copy(dst.B, l.B)
+	}
+	return a, nil
+}

@@ -1,0 +1,93 @@
+package detect
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGADRoundTrip(t *testing.T) {
+	g := trainedGAD(t)
+	g.NSigma = 3.7
+	var buf bytes.Buffer
+	if err := SaveGAD(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGAD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NSigma != g.NSigma || loaded.MinSamples != g.MinSamples || loaded.Online != g.Online {
+		t.Errorf("config mismatch: %+v vs %+v", loaded.NSigma, g.NSigma)
+	}
+	if loaded.TrainedSamples() != g.TrainedSamples() {
+		t.Errorf("samples %d vs %d", loaded.TrainedSamples(), g.TrainedSamples())
+	}
+	// Behavioural equivalence: identical verdicts on normal and anomalous
+	// samples.
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		var d [NumStates]float64
+		for j := range d {
+			d[j] = rng.NormFloat64() * float64(1+i%40)
+		}
+		a := g.Observe(1, d)
+		b := loaded.Observe(1, d)
+		if len(a) != len(b) {
+			t.Fatalf("verdict diverged on sample %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestAADRoundTrip(t *testing.T) {
+	cfg := DefaultAADConfig()
+	cfg.Epochs = 10
+	a := trainAADOnCalm(t, cfg)
+	var buf bytes.Buffer
+	if err := SaveAAD(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAAD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold != a.Threshold {
+		t.Errorf("threshold %v vs %v", loaded.Threshold, a.Threshold)
+	}
+	// Bit-identical reconstruction errors.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		var d [NumStates]float64
+		for j := range d {
+			d[j] = rng.NormFloat64() * 3
+		}
+		if got, want := loaded.ReconError(d), a.ReconError(d); got != want {
+			t.Fatalf("recon error diverged: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestSaveAADRejectsUntrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewAAD(DefaultAADConfig(), rng)
+	var buf bytes.Buffer
+	if err := SaveAAD(&buf, a); err == nil {
+		t.Error("saved an untrained AAD")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadGAD(strings.NewReader("{not json")); err == nil {
+		t.Error("accepted malformed GAD JSON")
+	}
+	if _, err := LoadAAD(strings.NewReader("{not json")); err == nil {
+		t.Error("accepted malformed AAD JSON")
+	}
+	if _, err := LoadGAD(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("accepted unknown GAD version")
+	}
+	if _, err := LoadAAD(strings.NewReader(`{"version":1,"mean":[1],"std":[1]}`)); err == nil {
+		t.Error("accepted wrong AAD dimensions")
+	}
+}

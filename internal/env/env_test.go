@@ -1,0 +1,220 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+func TestPresetsValid(t *testing.T) {
+	for _, w := range []*World{Factory(), Farm()} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", w.Name, err)
+		}
+	}
+}
+
+func TestGeneratedWorldsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		for _, w := range []*World{Sparse(rng), Dense(rng), Training(i, rng)} {
+			if err := w.Validate(); err != nil {
+				t.Errorf("generated %s #%d invalid: %v", w.Name, i, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorDensityTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		w := Generate("d", GenConfig{Density: 0.10, Side: 6}, rng)
+		d := w.ObstacleDensity()
+		// The keep-clear zones around start/goal cost some coverage; the
+		// generator should land within a reasonable band of the target.
+		if d < 0.05 || d > 0.15 {
+			t.Errorf("density = %.3f, want ≈0.10", d)
+		}
+	}
+}
+
+func TestGeneratorKeepsStartGoalClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		w := Dense(rng)
+		if w.Collides(w.Start, 1.0) {
+			t.Fatalf("start blocked in %s #%d", w.Name, i)
+		}
+		if w.Occupied(w.Goal, 1.0) {
+			t.Fatalf("goal blocked in %s #%d", w.Name, i)
+		}
+	}
+}
+
+func TestFarmIsEffectivelyObstacleFree(t *testing.T) {
+	w := Farm()
+	// Paper: "Farm is an obstacles-free environment" — nothing blocks the
+	// cruise altitude plane.
+	for x := 2.0; x < 78; x += 4 {
+		for y := 2.0; y < 78; y += 4 {
+			if w.Occupied(geom.V(x, y, 2.5), 0.5) {
+				t.Fatalf("Farm blocked at (%v,%v)", x, y)
+			}
+		}
+	}
+}
+
+func TestOccupied(t *testing.T) {
+	w := &World{
+		Bounds:        geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10)),
+		Obstacles:     []geom.AABB{geom.Box(geom.V(4, 4, 0), geom.V(6, 6, 5))},
+		Start:         geom.V(1, 1, 0),
+		Goal:          geom.V(9, 9, 2),
+		GoalTolerance: 1,
+	}
+	if !w.Occupied(geom.V(5, 5, 2), 0.3) {
+		t.Error("inside obstacle not occupied")
+	}
+	if !w.Occupied(geom.V(6.2, 5, 2), 0.3) {
+		t.Error("within radius of obstacle not occupied")
+	}
+	if w.Occupied(geom.V(8, 8, 2), 0.3) {
+		t.Error("free space occupied")
+	}
+	if !w.Occupied(geom.V(5, 5, 0.1), 0.3) {
+		t.Error("ground not occupied for conservative query")
+	}
+	if !w.Occupied(geom.V(-1, 5, 2), 0.3) {
+		t.Error("out of bounds not occupied")
+	}
+}
+
+func TestCollidesVsOccupied(t *testing.T) {
+	w := &World{
+		Bounds:    geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10)),
+		Obstacles: []geom.AABB{geom.Box(geom.V(4, 4, 0), geom.V(6, 6, 5))},
+	}
+	// On the ground: Occupied (conservative) but not Collides (physical).
+	p := geom.V(1, 1, 0)
+	if !w.Occupied(p, 0.4) {
+		t.Error("ground point should be Occupied")
+	}
+	if w.Collides(p, 0.4) {
+		t.Error("resting on ground should not Collide")
+	}
+	if !w.Collides(geom.V(1, 1, -0.5), 0.4) {
+		t.Error("underground should Collide")
+	}
+	if !w.Collides(geom.V(11, 1, 1), 0.4) {
+		t.Error("outside bounds should Collide")
+	}
+	if !w.Collides(geom.V(5, 5, 1), 0.4) {
+		t.Error("inside obstacle should Collide")
+	}
+}
+
+func TestSegmentFree(t *testing.T) {
+	w := &World{
+		Bounds:    geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10)),
+		Obstacles: []geom.AABB{geom.Box(geom.V(4, 0, 0), geom.V(6, 10, 10))},
+	}
+	if w.SegmentFree(geom.V(1, 5, 5), geom.V(9, 5, 5), 0.3) {
+		t.Error("segment through wall reported free")
+	}
+	if !w.SegmentFree(geom.V(1, 5, 5), geom.V(3, 5, 5), 0.3) {
+		t.Error("clear segment reported blocked")
+	}
+}
+
+func TestRaycast(t *testing.T) {
+	w := &World{
+		Bounds:    geom.Box(geom.V(0, 0, 0), geom.V(100, 100, 100)),
+		Obstacles: []geom.AABB{geom.Box(geom.V(10, -5, 0), geom.V(12, 5, 20))},
+	}
+	d := w.Raycast(geom.V(0, 0, 5), geom.V(1, 0, 0), 50)
+	if math.Abs(d-10) > 1e-6 {
+		t.Errorf("raycast hit at %v, want 10", d)
+	}
+	// Clear ray returns max range.
+	if d := w.Raycast(geom.V(0, 50, 5), geom.V(1, 0, 0), 50); d != 50 {
+		t.Errorf("clear ray = %v", d)
+	}
+	// Downward ray hits the ground plane.
+	d = w.Raycast(geom.V(50, 50, 8), geom.V(0, 0, -1), 50)
+	if math.Abs(d-8) > 1e-6 {
+		t.Errorf("ground ray = %v", d)
+	}
+	// Raycast agrees with Occupied along the ray.
+	hit := geom.V(0, 0, 5).Add(geom.V(1, 0, 0).Scale(d + 0.01))
+	_ = hit
+}
+
+// TestRaycastConsistentWithOccupied property: the point just before the
+// raycast distance is free; just after (for hits) is inside an obstacle or
+// the ground.
+func TestRaycastConsistentWithOccupied(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := Sparse(rng)
+	for i := 0; i < 200; i++ {
+		origin := geom.V(rng.Float64()*50+5, rng.Float64()*50+5, rng.Float64()*5+1)
+		dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()*0.3).Normalize()
+		if dir.Len() == 0 {
+			continue
+		}
+		const maxRange = 25.0
+		d := w.Raycast(origin, dir, maxRange)
+		if d < maxRange && d > 0.5 {
+			before := origin.Add(dir.Scale(d - 0.3))
+			if w.Occupied(before, 0.01) && before.Z > 0.05 && w.Bounds.Contains(before) {
+				// The pre-hit point can only be occupied if the origin
+				// itself started inside an obstacle.
+				if !w.Occupied(origin, 0.01) {
+					t.Fatalf("ray %v→%v: point before hit at %v occupied", origin, dir, before)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	w := &World{Name: "bad"}
+	if err := w.Validate(); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	w = &World{
+		Name:          "badstart",
+		Bounds:        geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10)),
+		Obstacles:     []geom.AABB{geom.Box(geom.V(0, 0, 0), geom.V(3, 3, 5))},
+		Start:         geom.V(1, 1, 0),
+		Goal:          geom.V(9, 9, 2),
+		GoalTolerance: 1,
+	}
+	if err := w.Validate(); err == nil {
+		t.Error("blocked start accepted")
+	}
+	w.Obstacles = []geom.AABB{geom.Box(geom.V(8, 8, 0), geom.V(10, 10, 5))}
+	if err := w.Validate(); err == nil {
+		t.Error("blocked goal accepted")
+	}
+	w.Obstacles = nil
+	w.GoalTolerance = 0
+	if err := w.Validate(); err == nil {
+		t.Error("zero goal tolerance accepted")
+	}
+}
+
+func TestGenConfigDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := Generate("defaults", GenConfig{Density: 0.05, Side: 5}, rng)
+	size := w.Bounds.Size()
+	if size.X != 60 || size.Z != 20 {
+		t.Errorf("default bounds = %v", size)
+	}
+	for _, ob := range w.Obstacles {
+		if ob.Size().Z != 12 {
+			t.Errorf("default height = %v", ob.Size().Z)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package env
+
+import (
+	"math/rand"
+
+	"mavfi/internal/geom"
+)
+
+// GenConfig parameterises the random environment generator. The paper
+// describes a configuration pair [obstacle density, side length of cuboid
+// obstacles (meters)]: Sparse = [0.05, 6], Dense = [0.2, 10].
+type GenConfig struct {
+	// Density is the target fraction of the ground plane covered by
+	// obstacle footprints.
+	Density float64
+	// Side is the side length of the square obstacle footprint in metres.
+	Side float64
+	// Height is the obstacle height; defaults to 12 m when zero, taller
+	// than the cruise altitude so obstacles cannot be overflown.
+	Height float64
+	// Area is the side length of the square flight volume; defaults 60 m.
+	Area float64
+	// Ceiling is the volume height; defaults 20 m.
+	Ceiling float64
+	// SideJitter randomises each obstacle's side by ±SideJitter fraction
+	// (0 = exact side everywhere).
+	SideJitter float64
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Height == 0 {
+		c.Height = 12
+	}
+	if c.Area == 0 {
+		c.Area = 60
+	}
+	if c.Ceiling == 0 {
+		c.Ceiling = 20
+	}
+	return c
+}
+
+// Generate builds a random world from cfg using rng. The start is placed in
+// the south-west corner region and the goal in the north-east corner; a
+// clearance region around each is kept obstacle-free so every generated
+// mission is feasible.
+func Generate(name string, cfg GenConfig, rng *rand.Rand) *World {
+	cfg = cfg.withDefaults()
+	w := &World{
+		Name:          name,
+		Bounds:        geom.Box(geom.V(0, 0, 0), geom.V(cfg.Area, cfg.Area, cfg.Ceiling)),
+		Start:         geom.V(5, 5, 0),
+		Goal:          geom.V(cfg.Area-5, cfg.Area-5, 2.5),
+		GoalTolerance: 1.5,
+	}
+	targetCover := cfg.Density * cfg.Area * cfg.Area
+	covered := 0.0
+	const keepClear = 7.0 // metres around start and goal
+	maxTries := 1000
+	for covered < targetCover && maxTries > 0 {
+		maxTries--
+		side := cfg.Side
+		if cfg.SideJitter > 0 {
+			side *= 1 + (rng.Float64()*2-1)*cfg.SideJitter
+		}
+		cx := rng.Float64() * cfg.Area
+		cy := rng.Float64() * cfg.Area
+		ob := geom.BoxAt(geom.V(cx, cy, cfg.Height/2), geom.V(side, side, cfg.Height))
+		if ob.Expand(keepClear).Contains(w.Start) || ob.Expand(keepClear).Contains(w.Goal) {
+			continue
+		}
+		w.Obstacles = append(w.Obstacles, ob)
+		covered += side * side
+	}
+	return w
+}
+
+// Sparse generates the paper's Sparse environment: [density 0.05, side 6 m].
+func Sparse(rng *rand.Rand) *World {
+	return Generate("Sparse", GenConfig{Density: 0.05, Side: 6}, rng)
+}
+
+// Dense generates the paper's Dense environment: [density 0.2, side 10 m].
+func Dense(rng *rand.Rand) *World {
+	return Generate("Dense", GenConfig{Density: 0.2, Side: 10}, rng)
+}
+
+// Training generates one of the "hundred of error-free randomized
+// environments" used to train the detectors: density and obstacle size are
+// themselves randomised between the Sparse and Dense extremes.
+func Training(i int, rng *rand.Rand) *World {
+	density := 0.02 + rng.Float64()*0.18 // 0.02 .. 0.20
+	side := 4 + rng.Float64()*8          // 4 .. 12 m
+	return Generate("Training", GenConfig{Density: density, Side: side, SideJitter: 0.2}, rng)
+}

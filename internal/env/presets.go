@@ -1,0 +1,59 @@
+package env
+
+import "mavfi/internal/geom"
+
+// Factory builds the Unreal-Engine-style "Factory" scene: an indoor-like
+// navigation scenario with walls (with door gaps) and scattered block
+// obstacles, matching the paper's description of "common navigation
+// scenarios with blocks, walls, and hedges".
+func Factory() *World {
+	w := &World{
+		Name:          "Factory",
+		Bounds:        geom.Box(geom.V(0, 0, 0), geom.V(70, 50, 15)),
+		Start:         geom.V(5, 25, 0),
+		Goal:          geom.V(65, 25, 2.5),
+		GoalTolerance: 1.5,
+	}
+	wall := func(x0, y0, x1, y1 float64) geom.AABB {
+		return geom.Box(geom.V(x0, y0, 0), geom.V(x1, y1, 10))
+	}
+	// Two partial cross-walls with offset doorways force S-shaped routes.
+	w.Obstacles = append(w.Obstacles,
+		wall(22, 0, 24, 18),  // south wall segment, gap at y=18..30
+		wall(22, 30, 24, 50), // north wall segment
+		wall(44, 0, 46, 28),  // second wall, gap at y=28..40
+		wall(44, 40, 46, 50),
+		// Machinery blocks on the floor between the walls.
+		geom.Box(geom.V(30, 8, 0), geom.V(36, 14, 6)),
+		geom.Box(geom.V(32, 36, 0), geom.V(38, 42, 6)),
+		geom.Box(geom.V(10, 38, 0), geom.V(16, 44, 6)),
+		geom.Box(geom.V(54, 10, 0), geom.V(60, 16, 6)),
+	)
+	return w
+}
+
+// Farm builds the Unreal-Engine-style "Farm" scene. The paper notes "Farm is
+// an obstacles-free environment": a wide open field with only low hedges
+// along the boundary, so a detoured MAV always has feasible paths to the
+// goal.
+func Farm() *World {
+	w := &World{
+		Name:          "Farm",
+		Bounds:        geom.Box(geom.V(0, 0, 0), geom.V(80, 80, 20)),
+		Start:         geom.V(6, 6, 0),
+		Goal:          geom.V(74, 74, 2.5),
+		GoalTolerance: 1.5,
+	}
+	// Low boundary hedges (1.5 m) well below cruise altitude; the interior
+	// is free space.
+	hedge := func(x0, y0, x1, y1 float64) geom.AABB {
+		return geom.Box(geom.V(x0, y0, 0), geom.V(x1, y1, 1.5))
+	}
+	w.Obstacles = append(w.Obstacles,
+		hedge(0, 0, 80, 0.5),
+		hedge(0, 79.5, 80, 80),
+		hedge(0, 0, 0.5, 80),
+		hedge(79.5, 0, 80, 80),
+	)
+	return w
+}

@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: per-kernel and per-state fault-injection campaigns (Fig. 3,
+// Fig. 4), the four-environment detection & recovery study (Tab. I, Fig. 6),
+// trajectory analysis (Fig. 7), overhead accounting (Tab. II), the hardware-
+// redundancy comparison (Fig. 8), and the platform comparison (Fig. 9) —
+// plus the ablations DESIGN.md calls out.
+//
+// Each experiment is a pure function of (Opts, seed): campaigns are fully
+// deterministic and scale with Opts.Runs so the test suite can run reduced
+// campaigns while the CLI and benchmarks run paper-scale ones.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mavfi/internal/detect"
+	"mavfi/internal/env"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/platform"
+	"mavfi/internal/qof"
+)
+
+// Opts scales and seeds a campaign.
+type Opts struct {
+	// Runs is the number of missions per campaign cell (paper: 100).
+	Runs int
+	// Seed roots all randomness.
+	Seed int64
+	// Platform is the companion-computer model for the main experiments.
+	Platform platform.Platform
+	// TrainEnvs is the number of error-free randomised training
+	// environments for the detectors (paper: ~100).
+	TrainEnvs int
+	// GADSigma is the Gaussian detector's n-sigma threshold.
+	GADSigma float64
+	// AAD is the autoencoder architecture/training configuration.
+	AAD detect.AADConfig
+}
+
+// PaperOpts returns the paper-scale configuration: 100 runs per cell, 100
+// training environments.
+func PaperOpts() Opts {
+	return Opts{
+		Runs:      100,
+		Seed:      1,
+		Platform:  platform.I9(),
+		TrainEnvs: 100,
+		GADSigma:  4,
+		AAD:       detect.DefaultAADConfig(),
+	}
+}
+
+// QuickOpts returns a reduced configuration sized for the test suite.
+func QuickOpts() Opts {
+	o := PaperOpts()
+	o.Runs = 12
+	o.TrainEnvs = 12
+	o.AAD.Epochs = 10
+	return o
+}
+
+// Context carries shared campaign state: the four evaluation environments
+// and the trained detectors (trained once, cloned per mission).
+type Context struct {
+	Opts
+
+	Worlds []*env.World // Factory, Farm, Sparse, Dense (paper order)
+
+	trainData [][detect.NumStates]float64
+	gad       *detect.GAD
+	aad       *detect.AAD
+
+	tableICache map[string]*EnvCampaign
+}
+
+// NewContext builds the evaluation environments. Detector training is
+// deferred until first use.
+func NewContext(o Opts) *Context {
+	rng := rand.New(rand.NewSource(o.Seed))
+	return &Context{
+		Opts: o,
+		Worlds: []*env.World{
+			env.Factory(),
+			env.Farm(),
+			env.Sparse(rng),
+			env.Dense(rng),
+		},
+		tableICache: make(map[string]*EnvCampaign),
+	}
+}
+
+// World returns the evaluation environment with the given name.
+func (c *Context) World(name string) *env.World {
+	for _, w := range c.Worlds {
+		if w.Name == name {
+			return w
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown world %q", name))
+}
+
+// ensureTrained runs the training campaign once: error-free flights through
+// randomised environments, feeding both detectors.
+func (c *Context) ensureTrained() {
+	if c.gad != nil {
+		return
+	}
+	c.trainData = pipeline.CollectTrainingData(c.TrainEnvs, c.Seed+1000, c.Platform)
+	c.gad = pipeline.TrainGAD(c.trainData, c.GADSigma)
+	c.aad = pipeline.TrainAAD(c.trainData, c.AAD, c.Seed+2000)
+}
+
+// GADetector returns a fresh per-mission clone of the trained Gaussian
+// detector (clones keep online updates independent across missions).
+func (c *Context) GADetector() *detect.GAD {
+	c.ensureTrained()
+	clone := *c.gad
+	return &clone
+}
+
+// AADetector returns the trained autoencoder detector (stateless at
+// inference, safe to share).
+func (c *Context) AADetector() *detect.AAD {
+	c.ensureTrained()
+	return c.aad
+}
+
+// TrainData exposes the training corpus for the ablation experiments.
+func (c *Context) TrainData() [][detect.NumStates]float64 {
+	c.ensureTrained()
+	return c.trainData
+}
+
+// calibrate runs one golden calibration mission in w and returns the
+// per-kernel dynamic value counts for uniform fault-plan drawing.
+func (c *Context) calibrate(w *env.World, p platform.Platform) *faultinject.Counter {
+	ctr := faultinject.NewCounter()
+	pipeline.RunMission(pipeline.Config{
+		World:    w,
+		Platform: p,
+		Seed:     c.Seed + 555,
+		Counter:  ctr,
+	})
+	return ctr
+}
+
+// stageKernels lists the kernels of each PPC stage used when a campaign
+// injects "per stage" (Tab. I: 100 injections per stage).
+var stageKernels = map[faultinject.Stage][]faultinject.Kernel{
+	faultinject.StagePerception: {
+		faultinject.KernelPCGen,
+		faultinject.KernelOctoMap,
+		faultinject.KernelColCheck,
+	},
+	faultinject.StagePlanning: {faultinject.KernelPlanner},
+	faultinject.StageControl:  {faultinject.KernelPID},
+}
+
+// runCell flies Runs missions of one campaign cell and aggregates them.
+// makeCfg customises the mission for run i.
+func (c *Context) runCell(name string, makeCfg func(i int) pipeline.Config) *qof.Campaign {
+	camp := &qof.Campaign{Name: name}
+	for i := 0; i < c.Runs; i++ {
+		res := pipeline.RunMission(makeCfg(i))
+		camp.Add(res.Metrics)
+	}
+	return camp
+}
+
+// Row formats a campaign as a one-line summary.
+func Row(camp *qof.Campaign) string {
+	s := camp.FlightTimeSummary()
+	return fmt.Sprintf("%-16s n=%-4d success=%5.1f%%  flight time: med=%6.1fs p95=%6.1fs max=%6.1fs",
+		camp.Name, camp.N(), camp.SuccessRate()*100, s.Median, s.P95, s.Max)
+}
+
+// header renders a section header for experiment output.
+func header(title string) string {
+	return fmt.Sprintf("\n=== %s ===\n%s\n", title, strings.Repeat("-", len(title)+8))
+}

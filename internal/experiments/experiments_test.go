@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mavfi/internal/faultinject"
+)
+
+// tinyOpts keeps the experiment integration tests fast: the assertions below
+// check structure and direction, not statistical significance.
+func tinyOpts() Opts {
+	o := QuickOpts()
+	o.Runs = 6
+	o.TrainEnvs = 8
+	o.AAD.Epochs = 8
+	return o
+}
+
+func TestContextWorlds(t *testing.T) {
+	c := NewContext(tinyOpts())
+	names := []string{"Factory", "Farm", "Sparse", "Dense"}
+	if len(c.Worlds) != 4 {
+		t.Fatalf("%d worlds", len(c.Worlds))
+	}
+	for i, w := range c.Worlds {
+		if w.Name != names[i] {
+			t.Errorf("world %d = %s, want %s", i, w.Name, names[i])
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("world %s invalid: %v", w.Name, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown world lookup did not panic")
+		}
+	}()
+	c.World("Nowhere")
+}
+
+func TestContextTraining(t *testing.T) {
+	c := NewContext(tinyOpts())
+	gad := c.GADetector()
+	if gad.TrainedSamples() < 100 {
+		t.Errorf("GAD trained on only %d samples", gad.TrainedSamples())
+	}
+	// Clones are independent.
+	g2 := c.GADetector()
+	if g2 == gad {
+		t.Error("GADetector returned shared instance")
+	}
+	aad := c.AADetector()
+	if !aad.Trained() {
+		t.Error("AAD not trained")
+	}
+	if len(c.TrainData()) < 100 {
+		t.Error("training corpus too small")
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	c := NewContext(tinyOpts())
+	f := c.Fig3()
+	if len(f.Cells) != 8 { // Golden + 7 kernels/planners
+		t.Fatalf("%d cells", len(f.Cells))
+	}
+	wantNames := []string{"Golden", "P.C. Gen.", "OctoMap", "Col. Ck.", "RRT", "RRTConnect", "RRT*", "PID"}
+	for i, cell := range f.Cells {
+		if cell.Name != wantNames[i] {
+			t.Errorf("cell %d = %s", i, cell.Name)
+		}
+		if cell.N() != c.Runs {
+			t.Errorf("cell %s has %d runs", cell.Name, cell.N())
+		}
+	}
+	if s := f.String(); !strings.Contains(s, "Golden") || !strings.Contains(s, "RRT*") {
+		t.Error("rendering incomplete")
+	}
+	// The worst-case increase is non-negative by construction.
+	if f.WorstCaseIncrease() < 0 {
+		t.Errorf("worst-case increase %v", f.WorstCaseIncrease())
+	}
+	if f.SuccessDrop() < 0 || f.SuccessDrop() > 1 {
+		t.Errorf("success drop %v", f.SuccessDrop())
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	c := NewContext(tinyOpts())
+	f := c.Fig4()
+	if len(f.Cells) != int(faultinject.NumInjectableStates) {
+		t.Fatalf("%d state cells", len(f.Cells))
+	}
+	if f.Cell(faultinject.StateWpX) == nil || f.Cell(faultinject.StateVelZ) == nil {
+		t.Error("missing state cells")
+	}
+	total := 0
+	for _, camp := range f.ByField {
+		total += camp.N()
+	}
+	if total != len(f.Cells)*c.Runs {
+		t.Errorf("bit-field totals %d, want %d", total, len(f.Cells)*c.Runs)
+	}
+	if s := f.String(); !strings.Contains(s, "time_to_collision") || !strings.Contains(s, "exponent") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestTableIAndFig6(t *testing.T) {
+	o := tinyOpts()
+	c := NewContext(o)
+	tab := c.TableI()
+	if len(tab.Envs) != 4 {
+		t.Fatalf("%d envs", len(tab.Envs))
+	}
+	for _, ec := range tab.Envs {
+		if ec.Golden.N() != o.Runs || ec.Injected.N() != 3*o.Runs ||
+			ec.GAD.N() != 3*o.Runs || ec.AAD.N() != 3*o.Runs {
+			t.Errorf("%s campaign sizes: %d %d %d %d", ec.Env,
+				ec.Golden.N(), ec.Injected.N(), ec.GAD.N(), ec.AAD.N())
+		}
+	}
+	// Fig6 reuses the cached campaigns (no recomputation).
+	f6 := c.Fig6()
+	if f6.Envs[0] != tab.Envs[0] {
+		t.Error("Fig6 did not reuse TableI campaigns")
+	}
+	if s := tab.String(); !strings.Contains(s, "Golden Run") || !strings.Contains(s, "Recovered") {
+		t.Error("TableI rendering incomplete")
+	}
+	if s := f6.String(); !strings.Contains(s, "Factory") {
+		t.Error("Fig6 rendering incomplete")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	c := NewContext(tinyOpts())
+	tab := c.TableII()
+	if len(tab.Gaussian) != 4 || len(tab.Autoencoder) != 4 {
+		t.Fatalf("row counts %d/%d", len(tab.Gaussian), len(tab.Autoencoder))
+	}
+	// The paper's headline: autoencoder overhead orders of magnitude below
+	// Gaussian overhead.
+	if MaxSum(tab.Autoencoder) >= MaxSum(tab.Gaussian) {
+		t.Errorf("AAD overhead %.5f not below GAD %.5f",
+			MaxSum(tab.Autoencoder), MaxSum(tab.Gaussian))
+	}
+	// AAD total overhead stays tiny (paper: ≤0.0062%; allow an order of
+	// slack at test scale).
+	if MaxSum(tab.Autoencoder) > 0.001 {
+		t.Errorf("AAD overhead %.5f%% too large", MaxSum(tab.Autoencoder)*100)
+	}
+	if s := tab.String(); !strings.Contains(s, "Gaussian-based") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	c := NewContext(tinyOpts())
+	f := c.Fig8()
+	if len(f.Rows) != 6 {
+		t.Fatalf("%d rows", len(f.Rows))
+	}
+	airsim, spark := f.Ratio("AirSim UAV"), f.Ratio("DJI Spark")
+	if airsim < 1 || spark < 1 {
+		t.Errorf("TMR ratios below 1: %v %v", airsim, spark)
+	}
+	// Paper: 1.06x AirSim, 1.91x Spark — the Spark must suffer much more.
+	if spark <= airsim+0.2 {
+		t.Errorf("Spark ratio %v not clearly worse than AirSim %v", spark, airsim)
+	}
+	if s := f.String(); !strings.Contains(s, "TMR") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	o := tinyOpts()
+	o.Runs = 4
+	c := NewContext(o)
+	f := c.Fig9()
+	if len(f.Studies) != 2 {
+		t.Fatalf("%d studies", len(f.Studies))
+	}
+	i9, tx2 := f.Studies[0], f.Studies[1]
+	if i9.Platform.Name != "i9-9940X" || tx2.Platform.Name != "Cortex-A57" {
+		t.Errorf("platforms: %s %s", i9.Platform.Name, tx2.Platform.Name)
+	}
+	mi9 := i9.Golden.FlightTimeSummary().Mean
+	mtx2 := tx2.Golden.FlightTimeSummary().Mean
+	if mtx2 <= mi9*1.3 {
+		t.Errorf("TX2 mean %.1f not clearly slower than i9 %.1f (paper: 2.8x)", mtx2, mi9)
+	}
+	if s := f.String(); !strings.Contains(s, "Core number") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestRecoveredFractionShape(t *testing.T) {
+	// End-to-end direction check at tiny scale: protection must not make
+	// success rates worse than unprotected injection by more than noise.
+	c := NewContext(tinyOpts())
+	ec := c.envCampaign("Sparse")
+	inj := ec.Injected.SuccessRate()
+	if ec.GAD.SuccessRate() < inj-0.15 {
+		t.Errorf("GAD success %.2f well below unprotected %.2f", ec.GAD.SuccessRate(), inj)
+	}
+	if ec.AAD.SuccessRate() < inj-0.15 {
+		t.Errorf("AAD success %.2f well below unprotected %.2f", ec.AAD.SuccessRate(), inj)
+	}
+}
+
+func TestAblationStructures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	o := tinyOpts()
+	o.Runs = 3
+	c := NewContext(o)
+
+	sig := c.AblationSigma()
+	if len(sig.Cells) != 5 {
+		t.Errorf("sigma sweep cells = %d", len(sig.Cells))
+	}
+	// Higher n must not increase golden false positives.
+	if sig.Cells[0].GoldenFPs < sig.Cells[len(sig.Cells)-1].GoldenFPs {
+		t.Errorf("FPs not decreasing with n: first %v last %v",
+			sig.Cells[0].GoldenFPs, sig.Cells[len(sig.Cells)-1].GoldenFPs)
+	}
+
+	pre := c.AblationPreprocess()
+	if len(pre.Cells) != 2 {
+		t.Errorf("preprocess cells = %d", len(pre.Cells))
+	}
+	bn := c.AblationBottleneck()
+	if len(bn.Cells) != 4 {
+		t.Errorf("bottleneck cells = %d", len(bn.Cells))
+	}
+	rec := c.AblationRecovery()
+	if len(rec.Cells) != 3 {
+		t.Errorf("recovery cells = %d", len(rec.Cells))
+	}
+	for _, a := range []*AblationResult{sig, pre, bn, rec} {
+		if a.String() == "" {
+			t.Error("empty ablation rendering")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mavfi/internal/faultinject"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/qof"
+)
+
+// Fig4Result reproduces Fig. 4: end-to-end fault tolerance when corrupting
+// individual inter-kernel states in transit — flight time and success rate
+// per state, plus the §III-B bit-field sensitivity breakdown.
+type Fig4Result struct {
+	Golden *qof.Campaign
+	// Cells holds one campaign per injectable inter-kernel state.
+	Cells []*qof.Campaign
+	// ByField aggregates the same runs by the flipped IEEE-754 field.
+	ByField map[faultinject.BitField]*qof.Campaign
+}
+
+// Fig4 runs the inter-kernel-state corruption campaign in Sparse: Runs
+// missions per state, each with a one-time single-bit flip of that state in
+// transit.
+func (c *Context) Fig4() *Fig4Result {
+	w := c.World("Sparse")
+	out := &Fig4Result{ByField: map[faultinject.BitField]*qof.Campaign{
+		faultinject.FieldSign:     {Name: "sign"},
+		faultinject.FieldExponent: {Name: "exponent"},
+		faultinject.FieldMantissa: {Name: "mantissa"},
+	}}
+
+	out.Golden = c.runCell("Golden", func(i int) pipeline.Config {
+		return pipeline.Config{World: w, Platform: c.Platform, Seed: c.Seed + int64(i)}
+	})
+
+	nominal := pipeline.NominalDuration(pipeline.Config{World: w, Platform: c.Platform})
+	for si := 0; si < int(faultinject.NumInjectableStates); si++ {
+		state := faultinject.StateID(si)
+		planRNG := rand.New(rand.NewSource(c.Seed + int64(si)*211 + 13))
+		camp := &qof.Campaign{Name: state.String()}
+		for i := 0; i < c.Runs; i++ {
+			plan := faultinject.NewStatePlan(state, nominal*0.15, nominal*0.85, planRNG)
+			res := pipeline.RunMission(pipeline.Config{
+				World:      w,
+				Platform:   c.Platform,
+				Seed:       c.Seed + int64(i),
+				StateFault: &plan,
+			})
+			camp.Add(res.Metrics)
+			out.ByField[faultinject.ClassifyBit(plan.Bit)].Add(res.Metrics)
+		}
+		out.Cells = append(out.Cells, camp)
+	}
+	return out
+}
+
+// String renders the per-state rows and the bit-field aggregation.
+func (f *Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Fig. 4: inter-kernel state corruption (Sparse)"))
+	fmt.Fprintf(&b, "%s\n", Row(f.Golden))
+	for _, cell := range f.Cells {
+		fmt.Fprintf(&b, "%s\n", Row(cell))
+	}
+	b.WriteString(header("§III-B: bit-field sensitivity"))
+	for _, field := range []faultinject.BitField{faultinject.FieldSign, faultinject.FieldExponent, faultinject.FieldMantissa} {
+		camp := f.ByField[field]
+		if camp.N() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\n", Row(camp))
+	}
+	return b.String()
+}
+
+// Cell returns the campaign for a named state.
+func (f *Fig4Result) Cell(s faultinject.StateID) *qof.Campaign {
+	for _, c := range f.Cells {
+		if c.Name == s.String() {
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"mavfi/internal/faultinject"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/qof"
+	"mavfi/internal/trace"
+)
+
+// Fig7Case is one trajectory-analysis scenario: the same seed flown golden,
+// with a fault injected into one stage, and with the fault plus
+// autoencoder-based detection & recovery — the three curves of Fig. 7.
+type Fig7Case struct {
+	Stage     faultinject.Stage
+	Seed      int64
+	Golden    *trace.Trace
+	Faulty    *trace.Trace
+	Recovered *trace.Trace
+	// Flight times for the three runs.
+	GoldenS, FaultyS, RecoveredS float64
+	// Outcomes (the faulty run may crash).
+	FaultyOutcome, RecoveredOutcome qof.Outcome
+}
+
+// Fig7Result reproduces Fig. 7: trajectories in the Dense environment for a
+// perception-stage injection (7a) and a planning-stage injection (7b).
+type Fig7Result struct {
+	Cases []*Fig7Case
+}
+
+// Fig7 searches seeds for injections that visibly detour the flight (the
+// paper's Fig. 7 shows hand-picked illustrative runs) and records the three
+// trajectories of each case.
+func (c *Context) Fig7() *Fig7Result {
+	w := c.World("Dense")
+	ctr := c.calibrate(w, c.Platform)
+	out := &Fig7Result{}
+
+	for _, stage := range []faultinject.Stage{faultinject.StagePerception, faultinject.StagePlanning} {
+		kernels := stageKernels[stage]
+		planRNG := rand.New(rand.NewSource(c.Seed + int64(stage)*37))
+
+		var best *Fig7Case
+		for attempt := 0; attempt < 60 && best == nil; attempt++ {
+			seed := c.Seed + int64(attempt)
+			k := kernels[attempt%len(kernels)]
+			plan := faultinject.NewPlan(k, ctr.Count(k), planRNG)
+
+			base := pipeline.Config{World: w, Platform: c.Platform, Seed: seed, Record: true}
+			golden := pipeline.RunMission(base)
+			if golden.Outcome != qof.Success {
+				continue
+			}
+			fiCfg := base
+			fiCfg.KernelFault = &plan
+			faulty := pipeline.RunMission(fiCfg)
+			// Keep a case where the fault visibly stretched the flight
+			// (detour) without necessarily crashing.
+			if !faulty.Injected || faulty.FlightTimeS < golden.FlightTimeS*1.12 {
+				continue
+			}
+			recCfg := fiCfg
+			recCfg.Detector = c.AADetector()
+			rec := pipeline.RunMission(recCfg)
+
+			best = &Fig7Case{
+				Stage:            stage,
+				Seed:             seed,
+				Golden:           label(golden.Trace, "golden"),
+				Faulty:           label(faulty.Trace, "fault"),
+				Recovered:        label(rec.Trace, "fault+D&R"),
+				GoldenS:          golden.FlightTimeS,
+				FaultyS:          faulty.FlightTimeS,
+				RecoveredS:       rec.FlightTimeS,
+				FaultyOutcome:    faulty.Outcome,
+				RecoveredOutcome: rec.Outcome,
+			}
+		}
+		if best != nil {
+			out.Cases = append(out.Cases, best)
+		}
+	}
+	return out
+}
+
+func label(t *trace.Trace, l string) *trace.Trace {
+	if t != nil {
+		t.Label = l
+	}
+	return t
+}
+
+// String summarises the cases.
+func (f *Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Fig. 7: trajectory analysis (Dense)"))
+	if len(f.Cases) == 0 {
+		b.WriteString("no illustrative detour case found at this campaign scale\n")
+		return b.String()
+	}
+	for _, cs := range f.Cases {
+		fmt.Fprintf(&b, "injection in %-10s seed=%-4d golden=%6.1fs  fault=%6.1fs (%+.1f%%, %s)  fault+D&R=%6.1fs (%+.1f%%, %s)\n",
+			cs.Stage, cs.Seed, cs.GoldenS,
+			cs.FaultyS, (cs.FaultyS/cs.GoldenS-1)*100, cs.FaultyOutcome,
+			cs.RecoveredS, (cs.RecoveredS/cs.GoldenS-1)*100, cs.RecoveredOutcome)
+		fmt.Fprintf(&b, "  path lengths: golden=%.1fm fault=%.1fm (detour %+.1f%%) fault+D&R=%.1fm (detour %+.1f%%)\n",
+			cs.Golden.PathLength(), cs.Faulty.PathLength(), cs.Faulty.Detour(cs.Golden)*100,
+			cs.Recovered.PathLength(), cs.Recovered.Detour(cs.Golden)*100)
+	}
+	return b.String()
+}
+
+// WriteCSV dumps all trajectories of case i for plotting.
+func (f *Fig7Result) WriteCSV(w io.Writer, i int) error {
+	if i < 0 || i >= len(f.Cases) {
+		return fmt.Errorf("fig7: no case %d", i)
+	}
+	cs := f.Cases[i]
+	return trace.WriteAllCSV(w, cs.Golden, cs.Faulty, cs.Recovered)
+}

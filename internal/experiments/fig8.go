@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mavfi/internal/platform"
+)
+
+// Fig8Result reproduces Fig. 8: the visual-performance-model comparison of
+// hardware redundancy (DMR, TMR) against the software anomaly-D&R scheme on
+// the AirSim UAV (8b) and DJI Spark (8c), both on ARM Cortex-A57.
+type Fig8Result struct {
+	// Rows are grouped per airframe in D&R, DMR, TMR order.
+	Rows []platform.Perf
+	// MissionM is the evaluated mission length.
+	MissionM float64
+}
+
+// Fig8 evaluates the model. The anomaly-D&R configuration carries a single
+// compute module (its software overhead is negligible per Tab. II); DMR and
+// TMR carry two and three.
+func (c *Context) Fig8() *Fig8Result {
+	const missionM = 400
+	cu := platform.CortexA57Unit()
+	tResp := platform.TX2().ResponseTimeS()
+	out := &Fig8Result{MissionM: missionM}
+	for _, af := range []platform.Airframe{platform.AirSimUAV(), platform.DJISpark()} {
+		for _, r := range []platform.Redundancy{platform.NoRedundancy, platform.DMR, platform.TMR} {
+			out.Rows = append(out.Rows, platform.Evaluate(af, cu, r, tResp, missionM))
+		}
+	}
+	return out
+}
+
+// Ratio returns TMR flight time divided by D&R flight time for the given
+// airframe (the paper reports 1.06× for the AirSim UAV and 1.91× for the
+// DJI Spark).
+func (f *Fig8Result) Ratio(airframe string) float64 {
+	var dr, tmr float64
+	for _, r := range f.Rows {
+		if r.Airframe != airframe {
+			continue
+		}
+		switch r.Scheme {
+		case "D&R":
+			dr = r.FlightTimeS
+		case "TMR":
+			tmr = r.FlightTimeS
+		}
+	}
+	if dr == 0 {
+		return 0
+	}
+	return tmr / dr
+}
+
+// String renders the comparison.
+func (f *Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString(header(fmt.Sprintf("Fig. 8: DMR/TMR vs anomaly D&R on Cortex-A57 (%.0f m mission)", f.MissionM)))
+	last := ""
+	for _, r := range f.Rows {
+		if r.Airframe != last {
+			fmt.Fprintf(&b, "[%s]\n", r.Airframe)
+			last = r.Airframe
+		}
+		fmt.Fprintf(&b, "  %-4s v=%5.2f m/s  flight time=%7.1f s  energy=%8.1f kJ\n",
+			r.Scheme, r.VelocityMS, r.FlightTimeS, r.EnergyJ/1000)
+	}
+	fmt.Fprintf(&b, "TMR/D&R flight-time ratio: AirSim UAV %.2fx, DJI Spark %.2fx (paper: 1.06x, 1.91x)\n",
+		f.Ratio("AirSim UAV"), f.Ratio("DJI Spark"))
+	return b.String()
+}

@@ -1,0 +1,246 @@
+// Package faultinject is the MAVFI core: the emulated instruction-level
+// fault injector. It models silent data corruptions (SDCs) as one-time
+// single-bit flips of live float64 values inside PPC compute kernels —
+// consistent with the register-level fault models of Wei et al. (DSN'14) and
+// Minotaur (ASPLOS'19) that the paper adopts — plus a message-level mode
+// that corrupts named inter-kernel states in transit (the paper's Fig. 4
+// experiment).
+//
+// Faults in memory/caches are out of scope (ECC-protected on the TX2/Xavier
+// class hardware the paper targets), as are control-logic faults; this
+// matches the paper's fault model section.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kernel identifies an injectable PPC compute kernel, matching the kernels
+// of the paper's Fig. 3.
+type Kernel int
+
+const (
+	// KernelNone disables kernel injection.
+	KernelNone Kernel = iota
+	// KernelPCGen is Point Cloud Generation (perception).
+	KernelPCGen
+	// KernelOctoMap is OctoMap generation (perception).
+	KernelOctoMap
+	// KernelColCheck is Collision Check (perception).
+	KernelColCheck
+	// KernelPlanner is the motion planner, RRT/RRT*/RRT-Connect (planning).
+	KernelPlanner
+	// KernelPID is path tracking / command issue (control).
+	KernelPID
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelNone:
+		return "none"
+	case KernelPCGen:
+		return "P.C. Gen."
+	case KernelOctoMap:
+		return "OctoMap"
+	case KernelColCheck:
+		return "Col. Ck."
+	case KernelPlanner:
+		return "Planner"
+	case KernelPID:
+		return "PID"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// Stage is a PPC pipeline stage.
+type Stage int
+
+const (
+	// StagePerception covers P.C. Gen., OctoMap, and Collision Check.
+	StagePerception Stage = iota
+	// StagePlanning covers the motion and mission planners.
+	StagePlanning
+	// StageControl covers path tracking / PID / command issue.
+	StageControl
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StagePerception:
+		return "perception"
+	case StagePlanning:
+		return "planning"
+	case StageControl:
+		return "control"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// KernelStage maps a kernel to its pipeline stage.
+func KernelStage(k Kernel) Stage {
+	switch k {
+	case KernelPCGen, KernelOctoMap, KernelColCheck:
+		return StagePerception
+	case KernelPlanner:
+		return StagePlanning
+	default:
+		return StageControl
+	}
+}
+
+// BitField classifies which IEEE-754 double field a bit index falls in,
+// used for the paper's data-field sensitivity analysis (§III-B).
+type BitField int
+
+const (
+	// FieldMantissa is bits 0–51.
+	FieldMantissa BitField = iota
+	// FieldExponent is bits 52–62.
+	FieldExponent
+	// FieldSign is bit 63.
+	FieldSign
+)
+
+// String implements fmt.Stringer.
+func (f BitField) String() string {
+	switch f {
+	case FieldMantissa:
+		return "mantissa"
+	case FieldExponent:
+		return "exponent"
+	default:
+		return "sign"
+	}
+}
+
+// ClassifyBit returns the IEEE-754 field of bit index b (0 = LSB).
+func ClassifyBit(b uint) BitField {
+	switch {
+	case b == 63:
+		return FieldSign
+	case b >= 52:
+		return FieldExponent
+	default:
+		return FieldMantissa
+	}
+}
+
+// FlipBit returns x with bit b (0 = LSB of the IEEE-754 representation)
+// inverted.
+func FlipBit(x float64, b uint) float64 {
+	return math.Float64frombits(math.Float64bits(x) ^ (1 << (b & 63)))
+}
+
+// Plan is one mission's injection plan: a one-time single-bit flip of one
+// dynamic value instance inside one kernel.
+//
+// The target instance is identified by its dynamic index: the Index-th
+// float64 value that flows through the kernel's injection sites over the
+// mission. Drawing Index uniformly over the kernel's dynamic value count
+// (measured on a golden calibration run, see Counter) makes every live
+// intermediate value equally likely — the emulation of a uniformly random
+// instruction-level register fault.
+type Plan struct {
+	// Kernel is the injection target.
+	Kernel Kernel
+	// Index is the dynamic value-instance index to corrupt.
+	Index int64
+	// Bit is the flipped bit index (0–63).
+	Bit uint
+}
+
+// NewPlan draws a uniformly random plan for the given kernel given the
+// kernel's dynamic value count from a golden calibration run: uniform
+// instance in [0, count), uniform bit in [0, 64).
+func NewPlan(k Kernel, count int64, rng *rand.Rand) Plan {
+	if count < 1 {
+		count = 1
+	}
+	return Plan{
+		Kernel: k,
+		Index:  rng.Int63n(count),
+		Bit:    uint(rng.Intn(64)),
+	}
+}
+
+// Counter measures each kernel's dynamic value count on a golden run; the
+// counts calibrate uniform Plan drawing.
+type Counter struct {
+	counts [kernelCount]int64
+}
+
+const kernelCount = int(KernelPID) + 1
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Hook returns a counting pass-through hook for kernel k.
+func (c *Counter) Hook(k Kernel) func(float64) float64 {
+	return func(x float64) float64 {
+		c.counts[k]++
+		return x
+	}
+}
+
+// Count returns the dynamic value count observed for kernel k.
+func (c *Counter) Count(k Kernel) int64 { return c.counts[k] }
+
+// Injector executes a Plan during one mission. The pipeline installs the
+// injector's Hook into each kernel's corruption point; the hook flips one
+// bit in exactly one value instance and records what it did.
+type Injector struct {
+	plan Plan
+	now  float64
+
+	seen     int64
+	injected bool
+
+	// Record of the performed injection.
+	InjectedAt    float64
+	OriginalValue float64
+	CorruptValue  float64
+}
+
+// NewInjector creates an injector for plan. A nil-plan (Kernel ==
+// KernelNone) injector is valid and never fires.
+func NewInjector(plan Plan) *Injector {
+	return &Injector{plan: plan}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// SetTime advances the injector's view of mission time; the pipeline calls
+// it once per tick (used only to timestamp the injection record).
+func (in *Injector) SetTime(t float64) { in.now = t }
+
+// Injected reports whether the single fault has fired.
+func (in *Injector) Injected() bool { return in.injected }
+
+// Hook returns the corruption hook for kernel k, or nil when k is not the
+// plan's target (nil hooks let kernels skip corruption entirely).
+func (in *Injector) Hook(k Kernel) func(float64) float64 {
+	if in.plan.Kernel == KernelNone || in.plan.Kernel != k {
+		return nil
+	}
+	return func(x float64) float64 {
+		if in.injected {
+			return x
+		}
+		if in.seen < in.plan.Index {
+			in.seen++
+			return x
+		}
+		in.injected = true
+		in.InjectedAt = in.now
+		in.OriginalValue = x
+		in.CorruptValue = FlipBit(x, in.plan.Bit)
+		return in.CorruptValue
+	}
+}

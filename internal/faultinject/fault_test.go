@@ -1,0 +1,234 @@
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlipBitInvolution(t *testing.T) {
+	f := func(x float64, b uint8) bool {
+		bit := uint(b) % 64
+		if math.IsNaN(x) {
+			// NaN payloads survive double flips bitwise, but NaN != NaN;
+			// compare bit patterns instead.
+			once := FlipBit(x, bit)
+			twice := FlipBit(once, bit)
+			return math.Float64bits(twice) == math.Float64bits(x)
+		}
+		return math.Float64bits(FlipBit(FlipBit(x, bit), bit)) == math.Float64bits(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBitKnownCases(t *testing.T) {
+	// Sign flip.
+	if got := FlipBit(1.0, 63); got != -1.0 {
+		t.Errorf("sign flip of 1.0 = %v", got)
+	}
+	// Lowest exponent bit of 1.0 (exp 1023 → 1022): halves the value.
+	if got := FlipBit(1.0, 52); got != 0.5 {
+		t.Errorf("exp bit 52 flip of 1.0 = %v", got)
+	}
+	// Mantissa LSB: tiny change.
+	got := FlipBit(1.0, 0)
+	if math.Abs(got-1.0) > 1e-15 || got == 1.0 {
+		t.Errorf("mantissa flip of 1.0 = %v", got)
+	}
+}
+
+func TestClassifyBit(t *testing.T) {
+	cases := map[uint]BitField{
+		0: FieldMantissa, 51: FieldMantissa,
+		52: FieldExponent, 62: FieldExponent,
+		63: FieldSign,
+	}
+	for b, want := range cases {
+		if got := ClassifyBit(b); got != want {
+			t.Errorf("ClassifyBit(%d) = %v, want %v", b, got, want)
+		}
+	}
+	for _, f := range []BitField{FieldSign, FieldExponent, FieldMantissa} {
+		if f.String() == "" {
+			t.Error("empty field name")
+		}
+	}
+}
+
+func TestKernelStageMapping(t *testing.T) {
+	cases := map[Kernel]Stage{
+		KernelPCGen:    StagePerception,
+		KernelOctoMap:  StagePerception,
+		KernelColCheck: StagePerception,
+		KernelPlanner:  StagePlanning,
+		KernelPID:      StageControl,
+	}
+	for k, want := range cases {
+		if got := KernelStage(k); got != want {
+			t.Errorf("KernelStage(%v) = %v, want %v", k, got, want)
+		}
+		if k.String() == "" {
+			t.Error("empty kernel name")
+		}
+	}
+	for _, s := range []Stage{StagePerception, StagePlanning, StageControl} {
+		if s.String() == "" {
+			t.Error("empty stage name")
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	h := c.Hook(KernelPID)
+	for i := 0; i < 7; i++ {
+		if got := h(float64(i)); got != float64(i) {
+			t.Error("counting hook altered value")
+		}
+	}
+	if c.Count(KernelPID) != 7 {
+		t.Errorf("count = %d", c.Count(KernelPID))
+	}
+	if c.Count(KernelPCGen) != 0 {
+		t.Error("unrelated kernel counted")
+	}
+}
+
+func TestInjectorFiresExactlyOnceAtIndex(t *testing.T) {
+	plan := Plan{Kernel: KernelPID, Index: 5, Bit: 63}
+	in := NewInjector(plan)
+	in.SetTime(3.5)
+	hook := in.Hook(KernelPID)
+	if hook == nil {
+		t.Fatal("nil hook for target kernel")
+	}
+	if in.Hook(KernelPCGen) != nil {
+		t.Error("hook for non-target kernel")
+	}
+	for i := 0; i < 20; i++ {
+		got := hook(2.0)
+		switch {
+		case i == 5:
+			if got != -2.0 {
+				t.Errorf("instance %d: got %v, want sign-flipped -2", i, got)
+			}
+			if !in.Injected() {
+				t.Error("not marked injected")
+			}
+		default:
+			if got != 2.0 {
+				t.Errorf("instance %d: got %v, want clean 2", i, got)
+			}
+		}
+	}
+	if in.OriginalValue != 2.0 || in.CorruptValue != -2.0 || in.InjectedAt != 3.5 {
+		t.Errorf("record: %+v", in)
+	}
+}
+
+func TestInjectorNonePlanNeverFires(t *testing.T) {
+	in := NewInjector(Plan{})
+	for _, k := range []Kernel{KernelPCGen, KernelOctoMap, KernelColCheck, KernelPlanner, KernelPID} {
+		if in.Hook(k) != nil {
+			t.Errorf("none-plan injector returned hook for %v", k)
+		}
+	}
+}
+
+func TestNewPlanUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 4000
+	var bitCount [64]int
+	maxIdx := int64(0)
+	for i := 0; i < n; i++ {
+		p := NewPlan(KernelPlanner, 1000, rng)
+		if p.Index < 0 || p.Index >= 1000 {
+			t.Fatalf("index %d out of range", p.Index)
+		}
+		if p.Index > maxIdx {
+			maxIdx = p.Index
+		}
+		bitCount[p.Bit]++
+	}
+	// Every bit position gets drawn at a plausible rate (expected 62.5).
+	for b, c := range bitCount {
+		if c < 20 || c > 130 {
+			t.Errorf("bit %d drawn %d times (expected ≈62)", b, c)
+		}
+	}
+	if maxIdx < 900 {
+		t.Errorf("max index %d suggests biased index draws", maxIdx)
+	}
+	// Degenerate count is sanitised.
+	p := NewPlan(KernelPID, 0, rng)
+	if p.Index != 0 {
+		t.Errorf("zero-count plan index = %d", p.Index)
+	}
+}
+
+func TestStateInjector(t *testing.T) {
+	plan := StatePlan{State: StateVelX, Time: 2.0, Bit: 63}
+	in := NewStateInjector(plan)
+
+	in.SetTime(1.0)
+	if got := in.Corrupt(StateVelX, 3.0); got != 3.0 {
+		t.Errorf("fired before time: %v", got)
+	}
+	in.SetTime(2.5)
+	if got := in.Corrupt(StateVelY, 3.0); got != 3.0 {
+		t.Errorf("fired on wrong state: %v", got)
+	}
+	if got := in.Corrupt(StateVelX, 3.0); got != -3.0 {
+		t.Errorf("corrupt = %v, want -3", got)
+	}
+	if got := in.Corrupt(StateVelX, 4.0); got != 4.0 {
+		t.Errorf("fired twice: %v", got)
+	}
+	if !in.Injected() || in.InjectedAt != 2.5 {
+		t.Errorf("record: %+v", in)
+	}
+	// Nil-safety for missions without state faults.
+	var nilInj *StateInjector
+	if got := nilInj.Corrupt(StateVelX, 1.5); got != 1.5 {
+		t.Error("nil injector corrupted")
+	}
+}
+
+func TestStateStageMapping(t *testing.T) {
+	cases := map[StateID]Stage{
+		StateTimeToCollision: StagePerception,
+		StateFutureColSeq:    StagePerception,
+		StateWpX:             StagePlanning,
+		StateWpYaw:           StagePlanning,
+		StateVelX:            StageControl,
+		StateVelZ:            StageControl,
+		StatePosX:            StagePerception,
+		StateAccMag:          StagePerception,
+	}
+	for s, want := range cases {
+		if got := StateStage(s); got != want {
+			t.Errorf("StateStage(%v) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestStateEnumLayout(t *testing.T) {
+	if int(NumInjectableStates) != 9 {
+		t.Errorf("injectable states = %d, want 9", NumInjectableStates)
+	}
+	if int(NumMonitoredStates) != 13 {
+		t.Errorf("monitored states = %d, want 13 (the paper's AE input size)", NumMonitoredStates)
+	}
+	// All state names distinct and non-empty.
+	seen := map[string]bool{}
+	for s := StateID(0); s < NumMonitoredStates; s++ {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Errorf("state %d name %q duplicate or empty", s, name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// StateID names the inter-kernel states of the PPC pipeline, the corruption
+// targets of the paper's Fig. 4 experiment and the inputs to the anomaly
+// detectors.
+type StateID int
+
+const (
+	// StateTimeToCollision is the perception-stage time-to-collision
+	// estimate in seconds.
+	StateTimeToCollision StateID = iota
+	// StateFutureColSeq is the perception-stage future-collision
+	// way-point index.
+	StateFutureColSeq
+	// StateWpX..StateWpYaw are the planning-stage active way-point pose.
+	StateWpX
+	StateWpY
+	StateWpZ
+	StateWpYaw
+	// StateVelX..StateVelZ are the control-stage commanded velocity.
+	StateVelX
+	StateVelY
+	StateVelZ
+
+	// NumInjectableStates counts the Fig. 4 corruption targets above.
+	NumInjectableStates
+
+	// The remaining monitored-only states complete the detector input
+	// vector (kinematics echoed from sensor fusion, Fig. 5a).
+	StatePosX StateID = iota - 1
+	StatePosY
+	StatePosZ
+	StateAccMag
+
+	// NumMonitoredStates is the detector input dimension (13, matching
+	// the paper's autoencoder input layer).
+	NumMonitoredStates
+)
+
+// String implements fmt.Stringer.
+func (s StateID) String() string {
+	switch s {
+	case StateTimeToCollision:
+		return "time_to_collision"
+	case StateFutureColSeq:
+		return "future_collision_seq"
+	case StateWpX:
+		return "wp_x"
+	case StateWpY:
+		return "wp_y"
+	case StateWpZ:
+		return "wp_z"
+	case StateWpYaw:
+		return "wp_yaw"
+	case StateVelX:
+		return "vx"
+	case StateVelY:
+		return "vy"
+	case StateVelZ:
+		return "vz"
+	case StatePosX:
+		return "pos_x"
+	case StatePosY:
+		return "pos_y"
+	case StatePosZ:
+		return "pos_z"
+	case StateAccMag:
+		return "acc_mag"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// StateStage maps an inter-kernel state to the stage that produces it.
+func StateStage(s StateID) Stage {
+	switch s {
+	case StateTimeToCollision, StateFutureColSeq, StatePosX, StatePosY, StatePosZ, StateAccMag:
+		return StagePerception
+	case StateWpX, StateWpY, StateWpZ, StateWpYaw:
+		return StagePlanning
+	default:
+		return StageControl
+	}
+}
+
+// StatePlan is one mission's message-level injection plan: flip one bit of
+// one named inter-kernel state the first time it is published after Time.
+type StatePlan struct {
+	State StateID
+	Time  float64
+	Bit   uint
+}
+
+// NewStatePlan draws a uniform message-level plan for state s.
+func NewStatePlan(s StateID, tMin, tMax float64, rng *rand.Rand) StatePlan {
+	return StatePlan{
+		State: s,
+		Time:  tMin + rng.Float64()*(tMax-tMin),
+		Bit:   uint(rng.Intn(64)),
+	}
+}
+
+// StateInjector executes a StatePlan: a one-time bit flip of a named
+// inter-kernel state in transit. The pipeline consults Corrupt for every
+// publication of every monitored state.
+type StateInjector struct {
+	plan     StatePlan
+	now      float64
+	injected bool
+
+	InjectedAt    float64
+	OriginalValue float64
+	CorruptValue  float64
+}
+
+// NewStateInjector creates an injector for plan.
+func NewStateInjector(plan StatePlan) *StateInjector {
+	return &StateInjector{plan: plan}
+}
+
+// Plan returns the injector's plan.
+func (in *StateInjector) Plan() StatePlan { return in.plan }
+
+// SetTime advances the injector's view of mission time.
+func (in *StateInjector) SetTime(t float64) { in.now = t }
+
+// Injected reports whether the single fault has fired.
+func (in *StateInjector) Injected() bool { return in.injected }
+
+// Corrupt passes state s's published value through the injector, flipping
+// one bit exactly once when the plan matches.
+func (in *StateInjector) Corrupt(s StateID, x float64) float64 {
+	if in == nil || in.injected || s != in.plan.State || in.now < in.plan.Time {
+		return x
+	}
+	in.injected = true
+	in.InjectedAt = in.now
+	in.OriginalValue = x
+	in.CorruptValue = FlipBit(x, in.plan.Bit)
+	return in.CorruptValue
+}

@@ -1,0 +1,153 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoxConstruction(t *testing.T) {
+	b := Box(V(5, 0, 2), V(1, 3, -1)) // corners in arbitrary order
+	if b.Min != V(1, 0, -1) || b.Max != V(5, 3, 2) {
+		t.Errorf("Box = %+v", b)
+	}
+	c := BoxAt(V(0, 0, 0), V(2, 4, 6))
+	if c.Min != V(-1, -2, -3) || c.Max != V(1, 2, 3) {
+		t.Errorf("BoxAt = %+v", c)
+	}
+	if c.Center() != (Vec3{}) {
+		t.Errorf("Center = %v", c.Center())
+	}
+	if c.Size() != V(2, 4, 6) {
+		t.Errorf("Size = %v", c.Size())
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	if !b.Contains(V(0.5, 0.5, 0.5)) || !b.Contains(V(0, 0, 0)) || !b.Contains(V(1, 1, 1)) {
+		t.Error("Contains misses interior/boundary points")
+	}
+	if b.Contains(V(1.01, 0.5, 0.5)) {
+		t.Error("Contains accepts exterior point")
+	}
+}
+
+func TestBoxIntersects(t *testing.T) {
+	a := Box(V(0, 0, 0), V(2, 2, 2))
+	if !a.Intersects(Box(V(1, 1, 1), V(3, 3, 3))) {
+		t.Error("overlapping boxes not intersecting")
+	}
+	if !a.Intersects(Box(V(2, 0, 0), V(3, 1, 1))) {
+		t.Error("touching boxes should intersect")
+	}
+	if a.Intersects(Box(V(2.1, 0, 0), V(3, 1, 1))) {
+		t.Error("separated boxes intersect")
+	}
+}
+
+func TestBoxExpandUnionEmpty(t *testing.T) {
+	b := Box(V(0, 0, 0), V(1, 1, 1)).Expand(0.5)
+	if b.Min != V(-0.5, -0.5, -0.5) || b.Max != V(1.5, 1.5, 1.5) {
+		t.Errorf("Expand = %+v", b)
+	}
+	if !Box(V(0, 0, 0), V(1, 1, 1)).Expand(-0.6).IsEmpty() {
+		t.Error("over-shrunk box not empty")
+	}
+	u := Box(V(0, 0, 0), V(1, 1, 1)).Union(Box(V(2, 2, 2), V(3, 3, 3)))
+	if u.Min != V(0, 0, 0) || u.Max != V(3, 3, 3) {
+		t.Errorf("Union = %+v", u)
+	}
+	var empty AABB
+	empty.Max = V(-1, -1, -1)
+	if got := empty.Union(Box(V(0, 0, 0), V(1, 1, 1))); got.Min != V(0, 0, 0) {
+		t.Errorf("Union with empty = %+v", got)
+	}
+}
+
+func TestClosestPointAndDist(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 2, 2))
+	if p := b.ClosestPoint(V(1, 1, 1)); p != V(1, 1, 1) {
+		t.Errorf("ClosestPoint interior = %v", p)
+	}
+	if p := b.ClosestPoint(V(5, 1, 1)); p != V(2, 1, 1) {
+		t.Errorf("ClosestPoint exterior = %v", p)
+	}
+	if d := b.Dist(V(5, 1, 1)); !almostEq(d, 3) {
+		t.Errorf("Dist = %v", d)
+	}
+	if d := b.Dist(V(1, 1, 1)); d != 0 {
+		t.Errorf("Dist interior = %v", d)
+	}
+}
+
+func TestSegmentIntersection(t *testing.T) {
+	b := Box(V(1, -1, -1), V(2, 1, 1))
+	// Segment passing straight through.
+	hit, t0, t1 := b.SegmentIntersection(V(0, 0, 0), V(3, 0, 0))
+	if !hit {
+		t.Fatal("through-segment missed")
+	}
+	if !almostEq(t0, 1.0/3) || !almostEq(t1, 2.0/3) {
+		t.Errorf("t0=%v t1=%v", t0, t1)
+	}
+	// Segment stopping short.
+	if b.SegmentIntersects(V(0, 0, 0), V(0.9, 0, 0)) {
+		t.Error("short segment reported hit")
+	}
+	// Segment parallel outside a slab.
+	if b.SegmentIntersects(V(0, 5, 0), V(3, 5, 0)) {
+		t.Error("offset parallel segment reported hit")
+	}
+	// Degenerate (point) segment inside.
+	if !b.SegmentIntersects(V(1.5, 0, 0), V(1.5, 0, 0)) {
+		t.Error("point inside box reported miss")
+	}
+}
+
+// TestSegmentIntersectionAgainstSampling cross-checks the slab method
+// against dense point sampling on random segments and boxes.
+func TestSegmentIntersectionAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 300; iter++ {
+		b := Box(
+			V(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10),
+			V(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10),
+		)
+		p0 := V(rng.Float64()*12-1, rng.Float64()*12-1, rng.Float64()*12-1)
+		p1 := V(rng.Float64()*12-1, rng.Float64()*12-1, rng.Float64()*12-1)
+
+		sampled := false
+		for i := 0; i <= 400; i++ {
+			if b.Contains(p0.Lerp(p1, float64(i)/400)) {
+				sampled = true
+				break
+			}
+		}
+		slab := b.SegmentIntersects(p0, p1)
+		// Sampling can miss grazing hits; it must never find a hit the
+		// slab method misses.
+		if sampled && !slab {
+			t.Fatalf("iter %d: sampling found hit, slab missed (box %+v seg %v→%v)", iter, b, p0, p1)
+		}
+	}
+}
+
+func TestRayIntersection(t *testing.T) {
+	b := Box(V(5, -1, -1), V(6, 1, 1))
+	hit, d := b.RayIntersection(V(0, 0, 0), V(1, 0, 0))
+	if !hit || math.Abs(d-5) > 1e-6 {
+		t.Errorf("hit=%v d=%v", hit, d)
+	}
+	if hit, _ := b.RayIntersection(V(0, 0, 0), V(-1, 0, 0)); hit {
+		t.Error("backward ray reported hit")
+	}
+	if hit, _ := b.RayIntersection(V(0, 5, 0), V(1, 0, 0)); hit {
+		t.Error("offset ray reported hit")
+	}
+	// Ray starting inside reports ~0 distance.
+	hit, d = b.RayIntersection(V(5.5, 0, 0), V(1, 0, 0))
+	if !hit || d > 1e-6 {
+		t.Errorf("inside ray: hit=%v d=%v", hit, d)
+	}
+}

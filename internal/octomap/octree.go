@@ -1,0 +1,348 @@
+// Package octomap implements the probabilistic occupancy octree the
+// perception stage maintains, following the OctoMap design: leaf voxels hold
+// clamped log-odds occupancy updated by hit/miss evidence from depth-sensor
+// ray casts, and queries descend the tree from a cubic root volume.
+//
+// The map deliberately distinguishes three voxel states — occupied, free,
+// and unknown — because the planners treat unknown space optimistically
+// (traversable until observed), which is what lets the pipeline start
+// planning before the map is complete.
+package octomap
+
+import (
+	"math"
+
+	"mavfi/internal/geom"
+)
+
+// Occupancy classifies a queried voxel.
+type Occupancy int
+
+const (
+	// Unknown voxels have never received evidence.
+	Unknown Occupancy = iota
+	// Free voxels have log-odds below the occupancy threshold.
+	Free
+	// Occupied voxels have log-odds at or above the threshold.
+	Occupied
+)
+
+// Params are the sensor-model constants, defaulting to the standard OctoMap
+// values.
+type Params struct {
+	LogOddsHit  float64 // evidence added on a ray endpoint hit
+	LogOddsMiss float64 // evidence added on a ray pass-through
+	ClampMin    float64 // lower log-odds clamp
+	ClampMax    float64 // upper log-odds clamp
+	OccThresh   float64 // log-odds at or above which a voxel is Occupied
+}
+
+// DefaultParams returns the standard OctoMap sensor model: P(hit)=0.7,
+// P(miss)=0.4, clamps at P=0.12 and P=0.97, threshold P=0.5.
+func DefaultParams() Params {
+	return Params{
+		LogOddsHit:  logit(0.7),
+		LogOddsMiss: logit(0.4),
+		ClampMin:    logit(0.12),
+		ClampMax:    logit(0.97),
+		OccThresh:   0,
+	}
+}
+
+func logit(p float64) float64 { return math.Log(p / (1 - p)) }
+
+// Tree is the occupancy octree over a cubic volume.
+type Tree struct {
+	params     Params
+	resolution float64
+	depth      int       // tree depth; leaves are resolution-sized
+	origin     geom.Vec3 // minimum corner of the root cube
+	rootSize   float64   // side length of the root cube
+	root       *node
+
+	leafUpdates int // total leaf evidence updates, for overhead accounting
+}
+
+type node struct {
+	children [8]*node
+	logOdds  float64
+	isLeaf   bool
+}
+
+// New creates a tree covering the axis-aligned cube that contains bounds,
+// with the given leaf resolution in metres.
+func New(bounds geom.AABB, resolution float64, params Params) *Tree {
+	if resolution <= 0 {
+		resolution = 0.5
+	}
+	size := bounds.Size()
+	maxSide := math.Max(size.X, math.Max(size.Y, size.Z))
+	depth := 0
+	rootSize := resolution
+	for rootSize < maxSide {
+		rootSize *= 2
+		depth++
+	}
+	return &Tree{
+		params:     params,
+		resolution: resolution,
+		depth:      depth,
+		origin:     bounds.Min,
+		rootSize:   rootSize,
+		root:       &node{isLeaf: true},
+	}
+}
+
+// Resolution returns the leaf voxel side length in metres.
+func (t *Tree) Resolution() float64 { return t.resolution }
+
+// LeafUpdates returns the total number of leaf evidence updates applied,
+// used by the platform model to charge map-update compute time.
+func (t *Tree) LeafUpdates() int { return t.leafUpdates }
+
+// key converts a world point to integer voxel coordinates at leaf depth.
+// ok is false outside the root volume.
+func (t *Tree) key(p geom.Vec3) (x, y, z int, ok bool) {
+	rel := p.Sub(t.origin)
+	if rel.X < 0 || rel.Y < 0 || rel.Z < 0 ||
+		rel.X >= t.rootSize || rel.Y >= t.rootSize || rel.Z >= t.rootSize {
+		return 0, 0, 0, false
+	}
+	x = int(rel.X / t.resolution)
+	y = int(rel.Y / t.resolution)
+	z = int(rel.Z / t.resolution)
+	return x, y, z, true
+}
+
+// VoxelCenter returns the centre of the leaf voxel containing p; ok is false
+// outside the volume.
+func (t *Tree) VoxelCenter(p geom.Vec3) (geom.Vec3, bool) {
+	x, y, z, ok := t.key(p)
+	if !ok {
+		return geom.Vec3{}, false
+	}
+	r := t.resolution
+	return t.origin.Add(geom.V((float64(x)+0.5)*r, (float64(y)+0.5)*r, (float64(z)+0.5)*r)), true
+}
+
+// updateKey applies delta log-odds evidence to the voxel at integer key
+// (x,y,z), expanding interior nodes as needed.
+func (t *Tree) updateKey(x, y, z int, delta float64) {
+	n := t.root
+	for level := t.depth - 1; level >= 0; level-- {
+		if n.isLeaf {
+			// Expand: push current value down on demand.
+			n.isLeaf = false
+			for i := range n.children {
+				n.children[i] = &node{isLeaf: true, logOdds: n.logOdds}
+			}
+		}
+		idx := ((x>>level)&1)<<2 | ((y>>level)&1)<<1 | (z >> level & 1)
+		if n.children[idx] == nil {
+			n.children[idx] = &node{isLeaf: true}
+		}
+		n = n.children[idx]
+	}
+	n.logOdds = geom.Clampf(n.logOdds+delta, t.params.ClampMin, t.params.ClampMax)
+	if n.logOdds != 0 {
+		markKnown(n)
+	}
+	t.leafUpdates++
+}
+
+// knownMarker distinguishes "log-odds exactly 0 because untouched" from
+// "touched". We store a tiny epsilon on first touch instead of a flag to
+// keep the node small; any evidence application marks the voxel known.
+func markKnown(n *node) {
+	if n.logOdds == 0 {
+		n.logOdds = 1e-9
+	}
+}
+
+// lookup returns the leaf (or coarser) node covering key (x,y,z) and whether
+// the voxel has ever received evidence.
+func (t *Tree) lookup(x, y, z int) (logOdds float64, known bool) {
+	n := t.root
+	touched := false
+	for level := t.depth - 1; level >= 0; level-- {
+		if n.isLeaf {
+			break
+		}
+		idx := ((x>>level)&1)<<2 | ((y>>level)&1)<<1 | (z >> level & 1)
+		c := n.children[idx]
+		if c == nil {
+			return 0, false
+		}
+		n = c
+		touched = true
+	}
+	if !touched && n == t.root && n.isLeaf {
+		return n.logOdds, n.logOdds != 0
+	}
+	return n.logOdds, n.logOdds != 0
+}
+
+// At classifies the voxel containing p. Points outside the mapped volume are
+// Occupied (flying out of bounds is not allowed).
+func (t *Tree) At(p geom.Vec3) Occupancy {
+	x, y, z, ok := t.key(p)
+	if !ok {
+		return Occupied
+	}
+	lo, known := t.lookup(x, y, z)
+	if !known {
+		return Unknown
+	}
+	if lo >= t.params.OccThresh {
+		return Occupied
+	}
+	return Free
+}
+
+// Prob returns the occupancy probability of the voxel containing p, and
+// whether the voxel is known.
+func (t *Tree) Prob(p geom.Vec3) (float64, bool) {
+	x, y, z, ok := t.key(p)
+	if !ok {
+		return 1, true
+	}
+	lo, known := t.lookup(x, y, z)
+	return 1 / (1 + math.Exp(-lo)), known
+}
+
+// MarkOccupied applies hit evidence at p (exposed for tests and fault
+// scenarios).
+func (t *Tree) MarkOccupied(p geom.Vec3) {
+	if x, y, z, ok := t.key(p); ok {
+		t.updateKey(x, y, z, t.params.LogOddsHit)
+	}
+}
+
+// MarkFree applies miss evidence at p.
+func (t *Tree) MarkFree(p geom.Vec3) {
+	if x, y, z, ok := t.key(p); ok {
+		t.updateKey(x, y, z, t.params.LogOddsMiss)
+	}
+}
+
+// InsertRay integrates one range measurement: miss evidence along the ray
+// from origin to end, and, when hit is true, hit evidence at the endpoint
+// voxel. Traversal uses the Amanatides–Woo voxel-stepping algorithm.
+//
+// The endpoint voxel is identified from the endpoint itself (not the
+// clipped walk), so a surface point landing exactly on a voxel boundary
+// attributes its hit evidence to the voxel containing the surface.
+func (t *Tree) InsertRay(origin, end geom.Vec3, hit bool) {
+	ex, ey, ez, endOK := t.key(end)
+	t.walkRay(origin, end, func(x, y, z int, last bool) {
+		if endOK && x == ex && y == ey && z == ez {
+			return // endpoint voxel handled below
+		}
+		t.updateKey(x, y, z, t.params.LogOddsMiss)
+	})
+	if endOK {
+		if hit {
+			t.updateKey(ex, ey, ez, t.params.LogOddsHit)
+		} else {
+			t.updateKey(ex, ey, ez, t.params.LogOddsMiss)
+		}
+	}
+}
+
+// walkRay visits every leaf voxel key from origin to end in order, flagging
+// the final voxel.
+func (t *Tree) walkRay(origin, end geom.Vec3, visit func(x, y, z int, last bool)) {
+	// Clip the segment to the root volume.
+	rootBox := geom.Box(t.origin, t.origin.Add(geom.V(t.rootSize, t.rootSize, t.rootSize)))
+	ok, t0, t1 := rootBox.SegmentIntersection(origin, end)
+	if !ok {
+		return
+	}
+	d := end.Sub(origin)
+	p0 := origin.Add(d.Scale(t0 + 1e-9))
+	p1 := origin.Add(d.Scale(t1 - 1e-9))
+
+	x, y, z, ok := t.key(p0)
+	if !ok {
+		return
+	}
+	ex, ey, ez, ok := t.key(p1)
+	if !ok {
+		return
+	}
+
+	dir := p1.Sub(p0)
+	stepX, tMaxX, tDeltaX := initAxis(p0.X-t.origin.X, dir.X, t.resolution)
+	stepY, tMaxY, tDeltaY := initAxis(p0.Y-t.origin.Y, dir.Y, t.resolution)
+	stepZ, tMaxZ, tDeltaZ := initAxis(p0.Z-t.origin.Z, dir.Z, t.resolution)
+
+	// Bound iterations defensively: the ray cannot cross more voxels than
+	// the Manhattan key distance plus slack.
+	maxSteps := abs(ex-x) + abs(ey-y) + abs(ez-z) + 3
+	for i := 0; i < maxSteps; i++ {
+		last := x == ex && y == ey && z == ez
+		visit(x, y, z, last)
+		if last {
+			return
+		}
+		switch {
+		case tMaxX <= tMaxY && tMaxX <= tMaxZ:
+			x += stepX
+			tMaxX += tDeltaX
+		case tMaxY <= tMaxZ:
+			y += stepY
+			tMaxY += tDeltaY
+		default:
+			z += stepZ
+			tMaxZ += tDeltaZ
+		}
+	}
+}
+
+// initAxis computes DDA stepping state for one axis: the step direction, the
+// parametric distance to the first voxel boundary, and the parametric
+// distance between boundaries.
+func initAxis(pos, dir, res float64) (step int, tMax, tDelta float64) {
+	cell := math.Floor(pos / res)
+	switch {
+	case dir > 1e-12:
+		step = 1
+		tMax = ((cell+1)*res - pos) / dir
+		tDelta = res / dir
+	case dir < -1e-12:
+		step = -1
+		tMax = (pos - cell*res) / -dir
+		tDelta = res / -dir
+	default:
+		step = 0
+		tMax = math.Inf(1)
+		tDelta = math.Inf(1)
+	}
+	return step, tMax, tDelta
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// NumLeaves counts allocated leaf nodes, a memory-footprint proxy.
+func (t *Tree) NumLeaves() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		if n == nil {
+			return 0
+		}
+		if n.isLeaf {
+			return 1
+		}
+		total := 0
+		for _, c := range n.children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(t.root)
+}

@@ -1,0 +1,86 @@
+package octomap
+
+import (
+	"math"
+
+	"mavfi/internal/geom"
+)
+
+// QueryPolicy controls how Unknown voxels are treated by navigation-level
+// queries. The MAVBench planners are optimistic: unexplored space is assumed
+// traversable until observed, otherwise no plan could ever leave the sensor
+// frustum.
+type QueryPolicy struct {
+	// UnknownIsFree treats Unknown voxels as traversable when true.
+	UnknownIsFree bool
+	// Radius is the vehicle collision radius used to inflate queries.
+	Radius float64
+}
+
+// blocked reports whether the single voxel classification counts as a
+// collision under the policy.
+func (q QueryPolicy) blocked(o Occupancy) bool {
+	switch o {
+	case Occupied:
+		return true
+	case Unknown:
+		return !q.UnknownIsFree
+	default:
+		return false
+	}
+}
+
+// PointFree reports whether a vehicle centred at p fits in the map under the
+// policy. The collision radius is applied by probing the centre voxel plus
+// the 6 face-adjacent probes at the radius — an O(7) approximation of the
+// swept sphere. Mapped structures thinner than the voxel pitch can slip
+// between probes; real obstacles integrate as multi-voxel surfaces, for
+// which the probe set is reliable.
+func (t *Tree) PointFree(p geom.Vec3, q QueryPolicy) bool {
+	if q.blocked(t.At(p)) {
+		return false
+	}
+	if q.Radius <= 0 {
+		return true
+	}
+	r := q.Radius
+	probes := [6]geom.Vec3{
+		{X: r}, {X: -r}, {Y: r}, {Y: -r}, {Z: r}, {Z: -r},
+	}
+	for _, d := range probes {
+		if q.blocked(t.At(p.Add(d))) {
+			return false
+		}
+	}
+	return true
+}
+
+// SegmentFree reports whether the segment a→b is traversable under the
+// policy, sampling at half-resolution spacing.
+func (t *Tree) SegmentFree(a, b geom.Vec3, q QueryPolicy) bool {
+	dist := a.Dist(b)
+	step := t.resolution / 2
+	n := int(math.Ceil(dist/step)) + 1
+	for i := 0; i <= n; i++ {
+		if !t.PointFree(a.Lerp(b, float64(i)/float64(n)), q) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstBlocked walks from a toward b and returns the parametric position
+// t ∈ [0,1] of the first blocked sample, or ok=false when the whole segment
+// is traversable. The perception stage uses this for time-to-collision.
+func (t *Tree) FirstBlocked(a, b geom.Vec3, q QueryPolicy) (frac float64, ok bool) {
+	dist := a.Dist(b)
+	step := t.resolution / 2
+	n := int(math.Ceil(dist/step)) + 1
+	for i := 0; i <= n; i++ {
+		f := float64(i) / float64(n)
+		if !t.PointFree(a.Lerp(b, f), q) {
+			return f, true
+		}
+	}
+	return 0, false
+}

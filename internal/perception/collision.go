@@ -1,0 +1,92 @@
+// Package perception implements the Collision Check kernel of the PPC
+// pipeline. It produces the two inter-kernel states the paper monitors from
+// the perception stage (Fig. 4): time_to_collision — seconds until the
+// vehicle, continuing at its current velocity, would hit an occupied or
+// map-boundary voxel — and future_collision_seq — the index of the first
+// way-point on the active trajectory that is in collision with the current
+// map (or -1 when the whole horizon is clear).
+package perception
+
+import (
+	"math"
+
+	"mavfi/internal/geom"
+	"mavfi/internal/octomap"
+)
+
+// Report is the collision-check kernel output published to the planning
+// stage.
+type Report struct {
+	T float64
+	// TimeToCollision is in seconds; Horizon when no collision is sensed.
+	TimeToCollision float64
+	// FutureCollisionSeq is the trajectory way-point index of the first
+	// predicted collision, or -1 when the horizon is clear.
+	FutureCollisionSeq float64
+}
+
+// Checker is the collision-check kernel.
+type Checker struct {
+	// Horizon caps the look-ahead, in seconds.
+	Horizon float64
+	// Policy configures occupancy queries (radius, unknown-space handling).
+	Policy octomap.QueryPolicy
+}
+
+// NewChecker returns the kernel with the experiment configuration: a 10 s
+// horizon and optimistic unknown-space handling with the airframe radius.
+func NewChecker(radius float64) *Checker {
+	return &Checker{
+		Horizon: 10,
+		Policy:  octomap.QueryPolicy{UnknownIsFree: true, Radius: radius},
+	}
+}
+
+// Check computes the collision report for the vehicle at pos moving with
+// velocity vel, following trajectory points traj (may be nil before the
+// first plan). The map is the current OctoMap.
+//
+// corrupt, when non-nil, is the fault-injection hook applied to the kernel's
+// intermediate distance computation — the instruction-level injection site
+// for this kernel.
+func (c *Checker) Check(m *octomap.Tree, pos, vel geom.Vec3, traj []geom.Vec3, corrupt func(float64) float64) Report {
+	r := Report{TimeToCollision: c.Horizon, FutureCollisionSeq: -1}
+
+	speed := vel.Len()
+	if speed > 0.05 {
+		lookAhead := speed * c.Horizon
+		end := pos.Add(vel.Normalize().Scale(lookAhead))
+		// The obstacle distance is this kernel's central intermediate
+		// value and passes through the injection site on every
+		// invocation — a corrupted-low distance manifests as a false
+		// collision alarm (emergency brake + replan), a corrupted-high
+		// one masks a real obstacle, both failure modes the paper
+		// attributes to this kernel.
+		dist := lookAhead
+		if frac, hit := m.FirstBlocked(pos, end, c.Policy); hit {
+			dist = frac * lookAhead
+		}
+		if corrupt != nil {
+			dist = corrupt(dist)
+		}
+		ttc := dist / speed
+		if math.IsNaN(ttc) || ttc < 0 {
+			ttc = 0
+		}
+		if ttc > c.Horizon {
+			ttc = c.Horizon
+		}
+		r.TimeToCollision = ttc
+	}
+
+	for i, wp := range traj {
+		if !m.PointFree(wp, c.Policy) {
+			r.FutureCollisionSeq = float64(i)
+			break
+		}
+	}
+	if corrupt != nil {
+		r.FutureCollisionSeq = corrupt(r.FutureCollisionSeq)
+	}
+	return r
+}

@@ -1,0 +1,175 @@
+// Package pipeline wires the full perception–planning–control (PPC) stack
+// onto the ROS-like middleware and runs closed-loop missions against the MAV
+// simulator: the reproduction of the paper's Fig. 2 system diagram.
+//
+// One RunMission call is one flight: sensors publish depth/IMU frames, the
+// perception kernels build the OctoMap and collision reports, the planning
+// kernels produce multi-DOF trajectories, the control kernel issues velocity
+// flight commands, MAVFI optionally injects exactly one single-bit fault,
+// and the optional anomaly-detection node watches the monitored inter-kernel
+// states and triggers stage recomputation on alarms.
+//
+// Time is fully simulated: kernels charge platform-modelled compute
+// latencies to the mission clock (planning stalls the vehicle in a hover
+// while it computes), so flight time, energy, and overhead percentages are
+// reproducible on any host.
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+
+	"mavfi/internal/detect"
+	"mavfi/internal/env"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/platform"
+	"mavfi/internal/qof"
+	"mavfi/internal/sim"
+	"mavfi/internal/trace"
+)
+
+// PlannerKind selects the motion planner for the planning stage.
+type PlannerKind int
+
+const (
+	// PlannerRRTStar is the pipeline default (as in MAVBench).
+	PlannerRRTStar PlannerKind = iota
+	// PlannerRRT is the baseline single-tree planner.
+	PlannerRRT
+	// PlannerRRTConnect is the bidirectional variant.
+	PlannerRRTConnect
+)
+
+// String implements fmt.Stringer.
+func (k PlannerKind) String() string {
+	switch k {
+	case PlannerRRT:
+		return "RRT"
+	case PlannerRRTConnect:
+		return "RRTConnect"
+	default:
+		return "RRT*"
+	}
+}
+
+// Config describes one mission.
+type Config struct {
+	// World is the environment to fly (required).
+	World *env.World
+	// Platform is the companion-computer model (default platform.I9()).
+	Platform platform.Platform
+	// Planner selects the motion planner.
+	Planner PlannerKind
+	// Seed drives every stochastic component of the mission.
+	Seed int64
+
+	// TickS is the control period (default 0.1 s).
+	TickS float64
+	// MaxMissionS is the mission time budget (default 180 s); exceeding
+	// it is a Timeout failure.
+	MaxMissionS float64
+	// CruiseAlt is the navigation altitude (default 2.5 m).
+	CruiseAlt float64
+
+	// KernelFault, when non-nil, is the instruction-level injection plan
+	// (Fig. 3 mode).
+	KernelFault *faultinject.Plan
+	// StateFault, when non-nil, is the message-level inter-kernel-state
+	// injection plan (Fig. 4 mode).
+	StateFault *faultinject.StatePlan
+	// Counter, when non-nil, switches the mission into calibration mode:
+	// no faults fire, and every kernel's dynamic value count is recorded
+	// into the counter for uniform Plan drawing.
+	Counter *faultinject.Counter
+
+	// Detector, when non-nil, enables the anomaly detection & recovery
+	// node with the given (pre-trained) scheme.
+	Detector detect.Detector
+
+	// Record enables trajectory recording into Result.Trace.
+	Record bool
+	// RecordStates enables per-tick recording of preprocessed monitored-
+	// state deltas (training-data collection).
+	RecordStates bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Platform.Name == "" {
+		c.Platform = platform.I9()
+	}
+	if c.TickS <= 0 {
+		c.TickS = 0.1
+	}
+	if c.MaxMissionS <= 0 {
+		c.MaxMissionS = 180
+	}
+	if c.CruiseAlt <= 0 {
+		c.CruiseAlt = 2.5
+	}
+	return c
+}
+
+// Result is one mission's outcome.
+type Result struct {
+	qof.Metrics
+
+	// Planner/mission event counts.
+	Plans      int // motion-planner invocations
+	PlanFails  int // planner invocations that found no path
+	Injected   bool
+	InjectedAt float64
+
+	// Trace is the recorded trajectory (Record).
+	Trace *trace.Trace
+	// StateDeltas are the recorded preprocessed monitored-state deltas
+	// (RecordStates).
+	StateDeltas [][detect.NumStates]float64
+}
+
+// CruiseSpeed applies the visual performance model to the platform: the
+// vehicle may fly no faster than it can react — a full pipeline response
+// time plus a map-update period must fit inside its stopping envelope:
+//
+//	v·t_react + v²/(2a) ≤ d_effective
+//
+// Slower platforms (TX2) therefore cruise slower, which is the mechanism
+// behind the paper's Fig. 9 platform comparison.
+func CruiseSpeed(p platform.Platform, vehicle sim.Params, senseRange, mapPeriodS float64) float64 {
+	tr := p.ResponseTimeS() + mapPeriodS
+	d := senseRange * 0.6 // keep a safety share of the sensing range
+	a := vehicle.MaxAccel
+	v := a * (math.Sqrt(tr*tr+2*d/a) - tr)
+	if v > vehicle.MaxSpeed {
+		v = vehicle.MaxSpeed
+	}
+	if v < 0.5 {
+		v = 0.5
+	}
+	return v
+}
+
+// MapPeriod returns the OctoMap integration period for a platform: the
+// nominal 0.5 s cadence, stretched when the platform cannot integrate that
+// fast.
+func MapPeriod(p platform.Platform) float64 {
+	return math.Max(0.5, p.OctoMapS)
+}
+
+// NominalDuration estimates the error-free mission duration for cfg, used by
+// campaigns to draw injection times that fall inside the flight.
+func NominalDuration(cfg Config) float64 {
+	cfg = cfg.withDefaults()
+	vp := sim.DefaultParams()
+	cam := sim.DefaultDepthCamera()
+	v := CruiseSpeed(cfg.Platform, vp, cam.MaxRange, MapPeriod(cfg.Platform))
+	dist := cfg.World.Start.Dist(cfg.World.Goal)
+	return cfg.CruiseAlt/1.2 + dist/v*1.6 // takeoff + path with detour slack
+}
+
+// missionRNGs derives independent deterministic streams for each stochastic
+// component so that, e.g., enabling sensor noise recording does not perturb
+// planner sampling.
+func missionRNGs(seed int64) (sensor, planner *rand.Rand) {
+	return rand.New(rand.NewSource(seed*2654435761 + 1)),
+		rand.New(rand.NewSource(seed*40503 + 2))
+}

@@ -1,0 +1,697 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+
+	"mavfi/internal/control"
+	"mavfi/internal/detect"
+	"mavfi/internal/env"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/geom"
+	"mavfi/internal/octomap"
+	"mavfi/internal/perception"
+	"mavfi/internal/planning"
+	"mavfi/internal/pointcloud"
+	"mavfi/internal/qof"
+	"mavfi/internal/ros"
+	"mavfi/internal/sim"
+	"mavfi/internal/trace"
+)
+
+// mapAdapter exposes the OctoMap to the motion planners through the
+// planning.CollisionChecker interface, restricted to the planning altitude
+// band.
+type mapAdapter struct {
+	tree   *octomap.Tree
+	policy octomap.QueryPolicy
+	zMin   float64
+	zMax   float64
+}
+
+func (a *mapAdapter) PointFree(p geom.Vec3) bool {
+	if p.Z < a.zMin || p.Z > a.zMax {
+		return false
+	}
+	return a.tree.PointFree(p, a.policy)
+}
+
+func (a *mapAdapter) SegmentFree(p, q geom.Vec3) bool {
+	if p.Z < a.zMin || p.Z > a.zMax || q.Z < a.zMin || q.Z > a.zMax {
+		return false
+	}
+	return a.tree.SegmentFree(p, q, a.policy)
+}
+
+// runner holds the full closed-loop mission state: the ROS graph, kernels,
+// simulator, injectors, and detector bookkeeping.
+type runner struct {
+	cfg   Config
+	world *env.World
+
+	// Simulator.
+	mav     *sim.MAV
+	camera  sim.DepthCamera
+	imu     *sim.IMU
+	power   sim.PowerModel
+	battery *sim.Battery
+
+	// Kernels.
+	tree    *octomap.Tree
+	adapter *mapAdapter
+	pcgen   *pointcloud.Generator
+	checker *perception.Checker
+	motion  planning.Planner
+	smooth  *planning.Smoother
+	tracker *control.Tracker
+	mission *planning.Mission
+
+	// Middleware.
+	graph   *ros.Graph
+	depthT  *ros.Topic[*sim.DepthImage]
+	imuT    *ros.Topic[sim.IMUReading]
+	cloudT  *ros.Topic[*pointcloud.Cloud]
+	reportT *ros.Topic[perception.Report]
+	trajT   *ros.Topic[*planning.Trajectory]
+	wpT     *ros.Topic[waypointMsg]
+	cmdT    *ros.Topic[sim.VelocityCmd]
+
+	// Fault injection.
+	kInj *faultinject.Injector
+	sInj *faultinject.StateInjector
+
+	// Detection.
+	prep     detect.Preprocessor
+	suppress int // ticks to skip detection after legitimate discontinuities
+
+	// Mission state.
+	t           float64
+	tick        float64
+	cruise      float64
+	mapPeriod   float64
+	nextMapT    float64
+	busyUntil   float64 // compute stall: vehicle hovers while kernels run
+	lastPlanT   float64
+	forceReplan bool
+	planPending bool // replan decided this tick, executes next tick unless
+	// a detector recovery vetoes it (detection latency beats planner start)
+
+	// Progress watchdog: a replan fires when trajectory progress stalls
+	// (e.g. the tracker oscillates around a corrupted way-point).
+	lastProgressT float64
+	lastNearest   int
+
+	curTraj    *planning.Trajectory
+	trajGen    int // trajectory generation counter, guards stale restores
+	lastReport perception.Report
+	goodReport perception.Report
+	goodTarget planning.Waypoint
+	goodGen    int
+	hasGood    bool
+	curTarget  planning.Waypoint
+	curTargetI int
+	hasTarget  bool
+
+	windBase geom.Vec3
+
+	rngs struct {
+		sensor, planner *rand.Rand
+	}
+
+	acct   qof.Metrics
+	res    Result
+	trc    *trace.Trace
+	deltas [][detect.NumStates]float64
+}
+
+// waypointMsg is the "Multidoftraj" stream message: the pursued way-point
+// plus its trajectory index (so interceptors can write corruption back into
+// the trajectory, where the inter-kernel state actually lives).
+type waypointMsg struct {
+	WP    planning.Waypoint
+	Index int
+}
+
+// RunMission flies one complete mission under cfg and returns its QoF
+// metrics and bookkeeping.
+func RunMission(cfg Config) Result {
+	r := newRunner(cfg)
+	return r.run()
+}
+
+func newRunner(cfg Config) *runner {
+	cfg = cfg.withDefaults()
+	r := &runner{cfg: cfg, world: cfg.World, tick: cfg.TickS}
+	r.rngs.sensor, r.rngs.planner = missionRNGs(cfg.Seed)
+
+	vp := sim.DefaultParams()
+	r.mav = sim.NewMAV(cfg.World, vp)
+	r.camera = sim.DefaultDepthCamera()
+	r.imu = sim.DefaultIMU()
+	r.power = sim.DefaultPowerModel()
+	r.power.ComputeW = cfg.Platform.PowerW
+	r.battery = sim.NewBattery(0)
+
+	r.mapPeriod = MapPeriod(cfg.Platform)
+	r.cruise = CruiseSpeed(cfg.Platform, vp, r.camera.MaxRange, r.mapPeriod)
+
+	r.tree = octomap.New(cfg.World.Bounds, 0.5, octomap.DefaultParams())
+	r.adapter = &mapAdapter{
+		tree:   r.tree,
+		policy: octomap.QueryPolicy{UnknownIsFree: true, Radius: vp.Radius + 0.2},
+		zMin:   1.2,
+		zMax:   math.Min(cfg.World.Bounds.Max.Z-1, cfg.CruiseAlt+2.5),
+	}
+	r.pcgen = pointcloud.NewGenerator()
+	r.checker = perception.NewChecker(vp.Radius)
+
+	pcfg := planning.DefaultConfig(cfg.World.Bounds)
+	switch cfg.Planner {
+	case PlannerRRT:
+		r.motion = planning.NewRRT(pcfg)
+	case PlannerRRTConnect:
+		r.motion = planning.NewRRTConnect(pcfg)
+	default:
+		r.motion = planning.NewRRTStar(pcfg)
+	}
+	r.smooth = planning.NewSmoother(r.cruise)
+	// The command clamp is the platform's safe cruise speed (visual
+	// performance model): a slower companion computer may not fly as fast
+	// as the airframe allows, because it could no longer stop within its
+	// sensing envelope.
+	r.tracker = control.NewTracker(r.cruise)
+	r.mission = planning.NewMission(cfg.World.Goal, cfg.CruiseAlt, cfg.World.GoalTolerance)
+
+	if cfg.KernelFault != nil {
+		r.kInj = faultinject.NewInjector(*cfg.KernelFault)
+	} else {
+		r.kInj = faultinject.NewInjector(faultinject.Plan{})
+	}
+	if cfg.StateFault != nil {
+		r.sInj = faultinject.NewStateInjector(*cfg.StateFault)
+	}
+	if cfg.Record {
+		r.trc = &trace.Trace{}
+	}
+
+	// Per-mission ambient wind: a constant horizontal component plus
+	// per-tick gusts, the physical variability that spreads golden flight
+	// times (seeded, so campaigns stay reproducible).
+	dir := r.rngs.sensor.Float64() * 2 * math.Pi
+	mag := r.rngs.sensor.Float64() * 0.7
+	r.windBase = geom.V(math.Cos(dir)*mag, math.Sin(dir)*mag, 0)
+
+	r.buildGraph()
+	return r
+}
+
+// hook returns the fault hook for kernel k: the counting hook in
+// calibration mode, otherwise the injector's (possibly nil) corruption hook.
+func (r *runner) hook(k faultinject.Kernel) func(float64) float64 {
+	if r.cfg.Counter != nil {
+		return r.cfg.Counter.Hook(k)
+	}
+	return r.kInj.Hook(k)
+}
+
+// buildGraph assembles the ROS node/topic graph of Fig. 2 and installs the
+// MAVFI interceptors.
+func (r *runner) buildGraph() {
+	g := ros.NewGraph()
+	r.graph = g
+
+	sensorN := g.NewNode("airsim_interface")
+	pcgenN := g.NewNode("point_cloud_generation")
+	mapN := g.NewNode("octomap_generation")
+	colN := g.NewNode("collision_check")
+	planN := g.NewNode("motion_planner")
+	ctrlN := g.NewNode("path_tracking")
+	mavfiN := g.NewNode("mavfi")
+	_ = sensorN
+	_ = mavfiN
+
+	r.depthT = ros.OpenTopic[*sim.DepthImage](g, "/airsim/depth")
+	r.imuT = ros.OpenTopic[sim.IMUReading](g, "/airsim/imu")
+	r.cloudT = ros.OpenTopic[*pointcloud.Cloud](g, "/perception/point_cloud")
+	r.reportT = ros.OpenTopic[perception.Report](g, "/perception/collision")
+	r.trajT = ros.OpenTopic[*planning.Trajectory](g, "/planning/multidoftraj")
+	r.wpT = ros.OpenTopic[waypointMsg](g, "/planning/waypoint")
+	r.cmdT = ros.OpenTopic[sim.VelocityCmd](g, "/control/flight_command")
+
+	// Perception chain: depth → point cloud → OctoMap.
+	r.depthT.Subscribe(pcgenN, func(img *sim.DepthImage) {
+		cloud := r.pcgen.Generate(img, r.hook(faultinject.KernelPCGen))
+		cloud.T = r.t
+		r.acct.ComputeS += r.cfg.Platform.PCGenS
+		r.cloudT.Publish(cloud)
+	})
+	r.cloudT.Subscribe(mapN, func(c *pointcloud.Cloud) {
+		hook := r.hook(faultinject.KernelOctoMap)
+		for _, p := range c.Points {
+			pt := p.P
+			if hook != nil {
+				pt = geom.V(hook(pt.X), hook(pt.Y), hook(pt.Z))
+			}
+			r.tree.InsertRay(c.Origin, pt, p.Hit)
+		}
+		r.acct.ComputeS += r.cfg.Platform.OctoMapS
+	})
+
+	// Collision reports flow to the planner node (stored state).
+	r.reportT.Subscribe(planN, func(rep perception.Report) {
+		r.lastReport = rep
+	})
+	_ = colN
+
+	// Trajectories install into the tracker. No detection suppression is
+	// needed here: the sign+exponent preprocessing makes legitimate replan
+	// discontinuities nearly invisible (way-point magnitudes stay in the
+	// same exponent range), while fault-induced jumps cross exponents.
+	r.trajT.Subscribe(ctrlN, func(tr *planning.Trajectory) {
+		r.curTraj = tr
+		r.trajGen++
+		r.tracker.SetTrajectory(tr)
+		r.lastNearest = 0
+		r.lastProgressT = r.t
+	})
+
+	// MAVFI message-level injection (Fig. 4 mode): interceptors corrupt
+	// inter-kernel states in transit.
+	if r.sInj != nil {
+		r.reportT.Intercept(func(rep perception.Report) (perception.Report, bool) {
+			rep.TimeToCollision = r.sInj.Corrupt(faultinject.StateTimeToCollision, rep.TimeToCollision)
+			rep.FutureCollisionSeq = r.sInj.Corrupt(faultinject.StateFutureColSeq, rep.FutureCollisionSeq)
+			return rep, false
+		})
+		r.wpT.Intercept(func(m waypointMsg) (waypointMsg, bool) {
+			m.WP.Pos.X = r.sInj.Corrupt(faultinject.StateWpX, m.WP.Pos.X)
+			m.WP.Pos.Y = r.sInj.Corrupt(faultinject.StateWpY, m.WP.Pos.Y)
+			m.WP.Pos.Z = r.sInj.Corrupt(faultinject.StateWpZ, m.WP.Pos.Z)
+			m.WP.Yaw = r.sInj.Corrupt(faultinject.StateWpYaw, m.WP.Yaw)
+			m.WP.Vel.X = r.sInj.Corrupt(faultinject.StateVelX, m.WP.Vel.X)
+			m.WP.Vel.Y = r.sInj.Corrupt(faultinject.StateVelY, m.WP.Vel.Y)
+			m.WP.Vel.Z = r.sInj.Corrupt(faultinject.StateVelZ, m.WP.Vel.Z)
+			return m, false
+		})
+	}
+
+	// The way-point stream feeds back into the tracker: corruption in
+	// transit persists in the trajectory until the way-point is passed or
+	// replaced (write-back).
+	r.wpT.Subscribe(ctrlN, func(m waypointMsg) {
+		r.curTarget = m.WP
+		r.curTargetI = m.Index
+		r.hasTarget = true
+		r.tracker.SetWaypoint(m.Index, m.WP)
+	})
+}
+
+// run executes the mission loop to termination.
+func (r *runner) run() Result {
+	injectedSeen := false
+	for {
+		r.t += r.tick
+		r.kInj.SetTime(r.t)
+		if r.sInj != nil {
+			r.sInj.SetTime(r.t)
+		}
+
+		gust := geom.V(r.rngs.sensor.NormFloat64()*0.15, r.rngs.sensor.NormFloat64()*0.15, 0)
+		r.mav.SetWind(r.windBase.Add(gust))
+
+		st := r.mav.State()
+		reading := r.imu.Read(st, r.rngs.sensor)
+		r.imuT.Publish(reading)
+
+		// Execute a replan decided last tick (and not vetoed by the
+		// detector's recovery in between).
+		if r.planPending && r.t >= r.busyUntil {
+			r.planPending = false
+			r.runPlanner(st, false)
+		}
+
+		r.senseAndMap(st)
+		phase := r.mission.Update(st.Pos)
+		r.perceive(st, phase)
+		r.maybePlan(st, phase)
+		cmd := r.command(st, phase)
+		r.cmdT.Publish(cmd)
+		cmd = r.detectAndRecover(st, phase, reading, cmd)
+
+		r.mav.Step(cmd, r.tick)
+		watts := r.power.Power(r.mav.State().Vel)
+		r.battery.Drain(watts, r.tick)
+		r.acct.EnergyJ += watts * r.tick
+
+		if r.trc != nil {
+			s := r.mav.State()
+			r.trc.Add(trace.Sample{T: s.T, Pos: s.Pos, Vel: s.Vel, Yaw: s.Yaw})
+			if !injectedSeen && (r.kInj.Injected() || (r.sInj != nil && r.sInj.Injected())) {
+				injectedSeen = true
+				r.trc.MarkEvent("inject")
+			}
+		}
+
+		if done, outcome := r.terminal(); done {
+			return r.finish(outcome)
+		}
+	}
+}
+
+// senseAndMap captures a depth frame and integrates it on the map cadence.
+func (r *runner) senseAndMap(st sim.State) {
+	if r.t < r.nextMapT {
+		return
+	}
+	r.nextMapT = r.t + r.mapPeriod
+	img := r.camera.Capture(r.world, st.Pos, st.Yaw, r.rngs.sensor)
+	r.depthT.Publish(img) // → point cloud → OctoMap, synchronously
+}
+
+// perceive runs the collision-check kernel each tick once airborne.
+func (r *runner) perceive(st sim.State, phase planning.MissionPhase) {
+	if phase == planning.PhaseTakeoff {
+		return
+	}
+	var remaining []geom.Vec3
+	if r.curTraj != nil {
+		pts := r.curTraj.Positions()
+		i := r.tracker.NearestIndex()
+		if i < len(pts) {
+			remaining = pts[i:]
+		}
+	}
+	rep := r.checker.Check(r.tree, st.Pos, st.Vel, remaining, r.hook(faultinject.KernelColCheck))
+	rep.T = r.t
+	r.acct.ComputeS += r.cfg.Platform.ColCheckS
+	r.reportT.Publish(rep) // interceptor may corrupt; planner node stores it
+}
+
+// planning decision constants.
+const (
+	brakeTTCs       = 1.5 // emergency-stop threshold on time-to-collision
+	replanMinGapS   = 1.0 // minimum spacing between replans
+	collisionWindow = 25  // way-points ahead that trigger a replan when blocked
+	stuckTimeoutS   = 8.0 // no trajectory progress for this long → replan
+)
+
+// maybePlan invokes the motion planner when the mission needs a (new)
+// trajectory. Planning stalls the vehicle: the busyUntil window makes the
+// command loop hover while the planner computes, charging the platform's
+// planning latency to mission time.
+func (r *runner) maybePlan(st sim.State, phase planning.MissionPhase) {
+	if phase != planning.PhaseNavigate || r.t < r.busyUntil {
+		return
+	}
+	need := r.forceReplan
+	if r.curTraj == nil {
+		need = true
+	}
+	rep := r.lastReport
+	if rep.TimeToCollision < brakeTTCs {
+		need = true
+	}
+	if seq := rep.FutureCollisionSeq; seq >= 0 && seq < collisionWindow {
+		need = true
+	}
+	if r.curTraj != nil {
+		if _, _, ok := r.tracker.SelectTarget(st.Pos); ok && r.tracker.Progress() > 0.99 && !r.mav.AtGoal() {
+			need = true
+		}
+		// Progress watchdog: tracking that stalls (oscillation around a
+		// corrupted way-point, unreachable target) forces a fresh plan.
+		if n := r.tracker.NearestIndex(); n > r.lastNearest {
+			r.lastNearest = n
+			r.lastProgressT = r.t
+		} else if r.t-r.lastProgressT > stuckTimeoutS {
+			need = true
+			r.lastProgressT = r.t
+		}
+	}
+	if !need || (r.t-r.lastPlanT) < replanMinGapS {
+		return
+	}
+	// Defer execution one tick: the anomaly-detection node sees the
+	// triggering states this tick and its recovery can cancel a replan
+	// requested by a corrupted report.
+	r.planPending = true
+}
+
+// runPlanner executes one motion-planning + smoothening invocation.
+// asRecovery charges the compute time to the planning-recovery account.
+func (r *runner) runPlanner(st sim.State, asRecovery bool) {
+	r.lastPlanT = r.t
+	r.forceReplan = false
+	r.res.Plans++
+
+	cost := r.cfg.Platform.PlanS
+	r.acct.ComputeS += cost
+	if asRecovery {
+		r.acct.RecoverPlanningS += cost
+	}
+	r.busyUntil = r.t + cost
+
+	start := st.Pos
+	if start.Z < r.adapter.zMin {
+		start.Z = r.adapter.zMin + 0.1
+	}
+	path, err := r.motion.Plan(start, r.mission.NavGoal(), r.adapter, r.rngs.planner)
+	if err != nil {
+		r.res.PlanFails++
+		r.curTraj = nil
+		r.tracker.SetTrajectory(nil)
+		return
+	}
+	tr := r.smooth.Smooth(path, r.adapter, r.rngs.planner)
+
+	// Instruction-level injection site for the planner kernel: the
+	// produced way-point fields pass through the corruption hook.
+	if hook := r.hook(faultinject.KernelPlanner); hook != nil {
+		for i := range tr.Points {
+			p := &tr.Points[i]
+			p.Pos.X = hook(p.Pos.X)
+			p.Pos.Y = hook(p.Pos.Y)
+			p.Pos.Z = hook(p.Pos.Z)
+			p.Yaw = hook(p.Yaw)
+			p.Vel.X = hook(p.Vel.X)
+			p.Vel.Y = hook(p.Vel.Y)
+			p.Vel.Z = hook(p.Vel.Z)
+		}
+	}
+	r.trajT.Publish(tr)
+	if r.trc != nil {
+		r.trc.MarkEvent("replan")
+	}
+}
+
+// command computes this tick's flight command.
+func (r *runner) command(st sim.State, phase planning.MissionPhase) sim.VelocityCmd {
+	switch phase {
+	case planning.PhaseTakeoff:
+		return sim.VelocityCmd{Vel: geom.V(0, 0, 1.2), Yaw: st.Yaw}
+	case planning.PhaseDeliver, planning.PhaseDone:
+		return sim.VelocityCmd{Vel: geom.Vec3{}, Yaw: st.Yaw}
+	}
+	if r.t < r.busyUntil || r.curTraj == nil {
+		// Hover/brake while planning or without a trajectory.
+		return sim.VelocityCmd{Vel: geom.Vec3{}, Yaw: st.Yaw}
+	}
+	if r.lastReport.TimeToCollision < brakeTTCs {
+		// Emergency brake: stop before the obstacle; replan is queued.
+		return sim.VelocityCmd{Vel: geom.Vec3{}, Yaw: st.Yaw}
+	}
+
+	target, idx, ok := r.tracker.SelectTarget(st.Pos)
+	if !ok {
+		return sim.VelocityCmd{Vel: geom.Vec3{}, Yaw: st.Yaw}
+	}
+	// Instruction-level injection site for the PID/command-issue kernel:
+	// the kernel's working setpoint — the pursued way-point pose and
+	// feed-forward velocity — passes through the corruption hook. The
+	// corrupted setpoint persists in the kernel's state (via the
+	// write-back below) until trajectory progress refreshes it, which is
+	// how a one-shot SDC in the control kernel keeps affecting commands.
+	if hook := r.hook(faultinject.KernelPID); hook != nil {
+		target.Pos.X = hook(target.Pos.X)
+		target.Pos.Y = hook(target.Pos.Y)
+		target.Pos.Z = hook(target.Pos.Z)
+		target.Vel.X = hook(target.Vel.X)
+		target.Vel.Y = hook(target.Vel.Y)
+		target.Vel.Z = hook(target.Vel.Z)
+	}
+	// Publish the pursued way-point on the Multidoftraj stream; MAVFI
+	// interceptors may corrupt it in transit, and the subscriber writes it
+	// (corrupted or not) back into the tracker state.
+	r.wpT.Publish(waypointMsg{WP: target, Index: idx})
+	if r.hasTarget {
+		target = r.curTarget
+	}
+
+	vel, yaw, done := r.tracker.TrackTo(target, st.Pos, r.tick, nil)
+	r.acct.ComputeS += r.cfg.Platform.ControlS
+	if done && !r.mav.AtGoal() {
+		r.forceReplan = true
+	}
+	return sim.VelocityCmd{Vel: vel, Yaw: yaw}
+}
+
+// detectAndRecover runs the anomaly-detection node: build the monitored
+// state vector, preprocess, observe, and apply any recovery — possibly
+// recomputing the command that will be actuated this tick.
+func (r *runner) detectAndRecover(st sim.State, phase planning.MissionPhase, reading sim.IMUReading, cmd sim.VelocityCmd) sim.VelocityCmd {
+	var vec detect.StateVector
+	vec[faultinject.StateTimeToCollision] = r.lastReport.TimeToCollision
+	vec[faultinject.StateFutureColSeq] = r.lastReport.FutureCollisionSeq
+	vec[faultinject.StateWpX] = r.curTarget.Pos.X
+	vec[faultinject.StateWpY] = r.curTarget.Pos.Y
+	vec[faultinject.StateWpZ] = r.curTarget.Pos.Z
+	vec[faultinject.StateWpYaw] = r.curTarget.Yaw
+	vec[faultinject.StateVelX] = cmd.Vel.X
+	vec[faultinject.StateVelY] = cmd.Vel.Y
+	vec[faultinject.StateVelZ] = cmd.Vel.Z
+	vec[faultinject.StatePosX] = reading.Pos.X
+	vec[faultinject.StatePosY] = reading.Pos.Y
+	vec[faultinject.StatePosZ] = reading.Pos.Z
+	vec[faultinject.StateAccMag] = reading.Accel.Len()
+
+	deltas, ready := r.prep.Process(vec)
+	active := ready && phase == planning.PhaseNavigate && r.curTraj != nil && r.t >= r.busyUntil
+	if r.suppress > 0 {
+		r.suppress--
+		active = false
+	}
+	if !active {
+		r.rememberGood()
+		return cmd
+	}
+
+	if r.cfg.RecordStates {
+		r.deltas = append(r.deltas, deltas)
+	}
+	if r.cfg.Detector == nil {
+		r.rememberGood()
+		return cmd
+	}
+
+	if _, isGAD := r.cfg.Detector.(*detect.GAD); isGAD {
+		r.acct.DetectS += r.cfg.Platform.GADObserveS
+	} else {
+		r.acct.DetectS += r.cfg.Platform.AADObserveS
+	}
+	recs := r.cfg.Detector.Observe(r.t, deltas)
+	if len(recs) == 0 {
+		r.rememberGood()
+		return cmd
+	}
+
+	r.acct.Alarms += len(recs)
+	if r.trc != nil {
+		r.trc.MarkEvent("alarm")
+	}
+	for _, rec := range recs {
+		cmd = r.recover(rec, st, cmd)
+	}
+	r.suppress = 2
+	return cmd
+}
+
+// rememberGood snapshots the last known-clean inter-kernel states, the
+// source of recovery values.
+func (r *runner) rememberGood() {
+	r.goodReport = r.lastReport
+	if r.hasTarget {
+		r.goodTarget = r.curTarget
+		r.goodGen = r.trajGen
+		r.hasGood = true
+	}
+}
+
+// recover applies one stage recomputation (the paper's recovery feedback
+// loop) and returns the possibly recomputed command.
+func (r *runner) recover(rec detect.Recovery, st sim.State, cmd sim.VelocityCmd) sim.VelocityCmd {
+	r.acct.Recomputes++
+	p := r.cfg.Platform
+	switch rec.Stage {
+	case faultinject.StagePerception:
+		// Recompute the perception stage: re-integrate the map and redo
+		// the collision check from cached inputs; the corrupted report is
+		// discarded in favour of the last good one until the recompute
+		// lands next tick.
+		r.acct.RecoverPerceptionS += p.OctoMapS
+		r.acct.ComputeS += p.OctoMapS
+		r.busyUntil = math.Max(r.busyUntil, r.t+p.OctoMapS)
+		r.lastReport = r.goodReport
+		// Cancel a replan the corrupted report may have requested.
+		r.planPending = false
+
+	case faultinject.StagePlanning:
+		// Recompute the planning stage: discard the (corrupted)
+		// trajectory and replan.
+		r.curTraj = nil
+		r.tracker.SetTrajectory(nil)
+		r.runPlanner(st, true)
+		cmd = sim.VelocityCmd{Vel: geom.Vec3{}, Yaw: st.Yaw}
+
+	case faultinject.StageControl:
+		// Recompute the control stage (the paper's AAD recovery point,
+		// 0.46 ms): restore the last good monitored states — the
+		// detection node re-publishes the clean report and way-point,
+		// ceasing propagation of whichever state was corrupted — and
+		// re-issue the command. The one-shot fault has already fired, so
+		// the recomputation is clean.
+		r.acct.RecoverControlS += p.ControlS
+		r.acct.ComputeS += p.ControlS
+		r.lastReport = r.goodReport
+		r.planPending = false
+		if r.hasGood && r.curTraj != nil && r.goodGen == r.trajGen {
+			// Restore only when the last-good way-point belongs to the
+			// currently tracked trajectory; after a replan the fresh
+			// trajectory is already clean and a stale restore would
+			// corrupt it.
+			r.tracker.SetWaypoint(r.curTargetI, r.goodTarget)
+			r.curTarget = r.goodTarget
+			vel, yaw, _ := r.tracker.TrackTo(r.goodTarget, st.Pos, r.tick, nil)
+			cmd = sim.VelocityCmd{Vel: vel, Yaw: yaw}
+		} else {
+			cmd = sim.VelocityCmd{Vel: geom.Vec3{}, Yaw: st.Yaw}
+		}
+	}
+	return cmd
+}
+
+// terminal checks mission-ending conditions.
+func (r *runner) terminal() (bool, qof.Outcome) {
+	switch {
+	case r.mav.Crashed():
+		return true, qof.Crash
+	case r.mission.Phase() == planning.PhaseDone:
+		return true, qof.Success
+	case r.battery.CapacityJ > 0 && r.battery.Remaining() <= 0:
+		return true, qof.BatteryOut
+	case r.t >= r.cfg.MaxMissionS:
+		return true, qof.Timeout
+	}
+	return false, qof.Success
+}
+
+// finish assembles the Result.
+func (r *runner) finish(outcome qof.Outcome) Result {
+	r.res.Metrics = r.acct
+	r.res.Outcome = outcome
+	r.res.FlightTimeS = r.t
+	r.res.DistanceM = r.mav.DistanceFlown()
+	r.res.Injected = r.kInj.Injected() || (r.sInj != nil && r.sInj.Injected())
+	if r.kInj.Injected() {
+		r.res.InjectedAt = r.kInj.InjectedAt
+	} else if r.sInj != nil && r.sInj.Injected() {
+		r.res.InjectedAt = r.sInj.InjectedAt
+	}
+	if r.trc != nil {
+		if outcome == qof.Crash {
+			r.trc.MarkEvent("crash")
+		}
+		r.res.Trace = r.trc
+	}
+	r.res.StateDeltas = r.deltas
+	return r.res
+}

@@ -1,0 +1,29 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/env"
+	"mavfi/internal/qof"
+)
+
+// TestGoldenMissionSparse flies one error-free mission end to end and checks
+// it completes successfully with sane metrics.
+func TestGoldenMissionSparse(t *testing.T) {
+	w := env.Sparse(rand.New(rand.NewSource(1)))
+	res := RunMission(Config{World: w, Seed: 42})
+	if res.Outcome != qof.Success {
+		t.Fatalf("golden mission outcome = %v (flight time %.1f s, plans %d, fails %d, dist %.1f m)",
+			res.Outcome, res.FlightTimeS, res.Plans, res.PlanFails, res.DistanceM)
+	}
+	if res.FlightTimeS <= 0 || res.EnergyJ <= 0 || res.DistanceM <= 10 {
+		t.Errorf("implausible metrics: time=%.1f energy=%.0f dist=%.1f",
+			res.FlightTimeS, res.EnergyJ, res.DistanceM)
+	}
+	if res.Injected {
+		t.Error("golden run reported an injection")
+	}
+	t.Logf("golden: time=%.1fs energy=%.1fkJ dist=%.1fm plans=%d compute=%.2fs",
+		res.FlightTimeS, res.EnergyJ/1000, res.DistanceM, res.Plans, res.ComputeS)
+}

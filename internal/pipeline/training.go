@@ -1,0 +1,46 @@
+package pipeline
+
+import (
+	"math/rand"
+
+	"mavfi/internal/detect"
+	"mavfi/internal/env"
+	"mavfi/internal/platform"
+)
+
+// CollectTrainingData flies nEnvs error-free missions through randomised
+// training environments (the paper's "hundred of error-free randomized
+// environments") and returns the recorded preprocessed monitored-state
+// deltas — the training corpus for both detectors.
+func CollectTrainingData(nEnvs int, seed int64, p platform.Platform) [][detect.NumStates]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var data [][detect.NumStates]float64
+	for i := 0; i < nEnvs; i++ {
+		w := env.Training(i, rng)
+		res := RunMission(Config{
+			World:        w,
+			Platform:     p,
+			Seed:         seed + int64(i)*7919,
+			RecordStates: true,
+		})
+		data = append(data, res.StateDeltas...)
+	}
+	return data
+}
+
+// TrainGAD fits a fresh Gaussian detector on the training corpus.
+func TrainGAD(data [][detect.NumStates]float64, nSigma float64) *detect.GAD {
+	g := detect.NewGAD(nSigma)
+	for _, d := range data {
+		g.Train(d)
+	}
+	return g
+}
+
+// TrainAAD fits a fresh autoencoder detector on the training corpus.
+func TrainAAD(data [][detect.NumStates]float64, cfg detect.AADConfig, seed int64) *detect.AAD {
+	rng := rand.New(rand.NewSource(seed))
+	a := detect.NewAAD(cfg, rng)
+	a.Train(data, cfg, rng)
+	return a
+}

@@ -1,0 +1,83 @@
+package planning
+
+import "mavfi/internal/geom"
+
+// MissionPhase enumerates the package-delivery mission's state machine.
+type MissionPhase int
+
+const (
+	// PhaseTakeoff climbs vertically to cruise altitude.
+	PhaseTakeoff MissionPhase = iota
+	// PhaseNavigate flies the planned trajectory toward the delivery point.
+	PhaseNavigate
+	// PhaseDeliver descends/holds at the goal to complete delivery.
+	PhaseDeliver
+	// PhaseDone means the mission completed successfully.
+	PhaseDone
+)
+
+// String implements fmt.Stringer.
+func (p MissionPhase) String() string {
+	switch p {
+	case PhaseTakeoff:
+		return "takeoff"
+	case PhaseNavigate:
+		return "navigate"
+	case PhaseDeliver:
+		return "deliver"
+	case PhaseDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// Mission is the package-delivery mission planner kernel: a small state
+// machine that decides the current navigation goal and when the motion
+// planner must (re)plan. It is deliberately simple — the paper's mission
+// planner node plays the same role.
+type Mission struct {
+	// Goal is the delivery point.
+	Goal geom.Vec3
+	// CruiseAlt is the navigation altitude in metres.
+	CruiseAlt float64
+	// GoalTol is the delivery arrival radius.
+	GoalTol float64
+
+	phase MissionPhase
+}
+
+// NewMission creates a delivery mission to goal at the given cruise
+// altitude.
+func NewMission(goal geom.Vec3, cruiseAlt, goalTol float64) *Mission {
+	return &Mission{Goal: goal, CruiseAlt: cruiseAlt, GoalTol: goalTol}
+}
+
+// Phase returns the current mission phase.
+func (m *Mission) Phase() MissionPhase { return m.phase }
+
+// NavGoal returns the current navigation target for the motion planner: the
+// delivery point at cruise altitude during navigation.
+func (m *Mission) NavGoal() geom.Vec3 {
+	return geom.V(m.Goal.X, m.Goal.Y, m.CruiseAlt)
+}
+
+// Update advances the state machine given the vehicle position and returns
+// the phase after the update.
+func (m *Mission) Update(pos geom.Vec3) MissionPhase {
+	switch m.phase {
+	case PhaseTakeoff:
+		if pos.Z >= m.CruiseAlt-0.3 {
+			m.phase = PhaseNavigate
+		}
+	case PhaseNavigate:
+		if pos.Dist(m.NavGoal()) <= m.GoalTol {
+			m.phase = PhaseDeliver
+		}
+	case PhaseDeliver:
+		if pos.Dist(m.Goal) <= m.GoalTol {
+			m.phase = PhaseDone
+		}
+	}
+	return m.phase
+}

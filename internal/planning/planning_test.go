@@ -1,0 +1,290 @@
+package planning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// boxChecker is a test CollisionChecker over explicit obstacle boxes.
+type boxChecker struct {
+	bounds    geom.AABB
+	obstacles []geom.AABB
+}
+
+func (c *boxChecker) PointFree(p geom.Vec3) bool {
+	if !c.bounds.Contains(p) {
+		return false
+	}
+	for _, ob := range c.obstacles {
+		if ob.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *boxChecker) SegmentFree(a, b geom.Vec3) bool {
+	n := int(a.Dist(b)/0.2) + 1
+	for i := 0; i <= n; i++ {
+		if !c.PointFree(a.Lerp(b, float64(i)/float64(n))) {
+			return false
+		}
+	}
+	return true
+}
+
+// corridorWorld: two rooms joined by a gap, forcing non-trivial planning.
+func corridorWorld() *boxChecker {
+	return &boxChecker{
+		bounds: geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10)),
+		obstacles: []geom.AABB{
+			geom.Box(geom.V(18, 0, 0), geom.V(22, 30, 10)), // wall, gap at y>30
+		},
+	}
+}
+
+func pathValid(t *testing.T, name string, path []geom.Vec3, cc CollisionChecker, start, goal geom.Vec3) {
+	t.Helper()
+	if len(path) < 2 {
+		t.Fatalf("%s: degenerate path %v", name, path)
+	}
+	if path[0].Dist(start) > 1e-6 {
+		t.Errorf("%s: path starts at %v, want %v", name, path[0], start)
+	}
+	if path[len(path)-1].Dist(goal) > 1e-6 {
+		t.Errorf("%s: path ends at %v, want %v", name, path[len(path)-1], goal)
+	}
+	for i := 1; i < len(path); i++ {
+		if !cc.SegmentFree(path[i-1], path[i]) {
+			t.Errorf("%s: segment %d collides (%v→%v)", name, i, path[i-1], path[i])
+		}
+	}
+}
+
+func planners(bounds geom.AABB) []Planner {
+	cfg := DefaultConfig(bounds)
+	return []Planner{NewRRT(cfg), NewRRTStar(cfg), NewRRTConnect(cfg)}
+}
+
+func TestPlannersFindPathThroughGap(t *testing.T) {
+	cc := corridorWorld()
+	start, goal := geom.V(5, 5, 3), geom.V(35, 5, 3)
+	for _, p := range planners(cc.bounds) {
+		rng := rand.New(rand.NewSource(3))
+		path, err := p.Plan(start, goal, cc, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		pathValid(t, p.Name(), path, cc, start, goal)
+	}
+}
+
+func TestPlannersTrivialStraightLine(t *testing.T) {
+	cc := &boxChecker{bounds: geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10))}
+	start, goal := geom.V(5, 5, 3), geom.V(35, 35, 3)
+	for _, p := range planners(cc.bounds) {
+		rng := rand.New(rand.NewSource(3))
+		path, err := p.Plan(start, goal, cc, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		pathValid(t, p.Name(), path, cc, start, goal)
+	}
+}
+
+func TestPlannersBlockedGoal(t *testing.T) {
+	cc := corridorWorld()
+	// Goal inside the wall.
+	start, goal := geom.V(5, 5, 3), geom.V(20, 10, 3)
+	for _, p := range planners(cc.bounds) {
+		rng := rand.New(rand.NewSource(3))
+		if _, err := p.Plan(start, goal, cc, rng); err == nil {
+			t.Errorf("%s: found path to blocked goal", p.Name())
+		}
+	}
+}
+
+func TestPlannersUnreachableGoal(t *testing.T) {
+	cc := &boxChecker{
+		bounds: geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10)),
+		obstacles: []geom.AABB{
+			geom.Box(geom.V(18, 0, 0), geom.V(22, 40, 10)), // full wall
+		},
+	}
+	cfg := DefaultConfig(cc.bounds)
+	cfg.MaxIters = 500 // keep the failure fast
+	for _, p := range []Planner{NewRRT(cfg), NewRRTStar(cfg), NewRRTConnect(cfg)} {
+		rng := rand.New(rand.NewSource(3))
+		if _, err := p.Plan(geom.V(5, 5, 3), geom.V(35, 5, 3), cc, rng); err == nil {
+			t.Errorf("%s: found path through a solid wall", p.Name())
+		}
+	}
+}
+
+func TestRRTStarShorterThanRRT(t *testing.T) {
+	cc := corridorWorld()
+	start, goal := geom.V(5, 5, 3), geom.V(35, 5, 3)
+	cfg := DefaultConfig(cc.bounds)
+	var rrtLen, starLen float64
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		p1, err1 := NewRRT(cfg).Plan(start, goal, cc, rng)
+		rng2 := rand.New(rand.NewSource(int64(i)))
+		p2, err2 := NewRRTStar(cfg).Plan(start, goal, cc, rng2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: %v %v", i, err1, err2)
+		}
+		rrtLen += PathLength(p1)
+		starLen += PathLength(p2)
+	}
+	// RRT* rewiring should on average produce paths no longer than RRT's
+	// (allow a small tolerance for sampling variance).
+	if starLen > rrtLen*1.10 {
+		t.Errorf("RRT* mean length %.1f not better than RRT %.1f", starLen/trials, rrtLen/trials)
+	}
+}
+
+func TestSmootherShortcut(t *testing.T) {
+	cc := &boxChecker{bounds: geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10))}
+	// A deliberately wiggly path in free space.
+	path := []geom.Vec3{
+		{X: 1, Y: 1, Z: 3}, {X: 5, Y: 20, Z: 3}, {X: 10, Y: 2, Z: 3},
+		{X: 15, Y: 25, Z: 3}, {X: 20, Y: 1, Z: 3}, {X: 30, Y: 30, Z: 3},
+	}
+	s := NewSmoother(5)
+	rng := rand.New(rand.NewSource(1))
+	out := s.Shortcut(path, cc, rng)
+	if PathLength(out) > PathLength(path) {
+		t.Errorf("shortcut lengthened path: %.1f > %.1f", PathLength(out), PathLength(path))
+	}
+	if out[0] != path[0] || out[len(out)-1] != path[len(path)-1] {
+		t.Error("shortcut moved endpoints")
+	}
+	for i := 1; i < len(out); i++ {
+		if !cc.SegmentFree(out[i-1], out[i]) {
+			t.Error("shortcut created colliding segment")
+		}
+	}
+}
+
+func TestSmootherShortcutRespectsObstacles(t *testing.T) {
+	cc := corridorWorld()
+	// Path through the gap; shortcutting must not cut through the wall.
+	path := []geom.Vec3{
+		{X: 5, Y: 5, Z: 3}, {X: 10, Y: 35, Z: 3}, {X: 20, Y: 35, Z: 3},
+		{X: 30, Y: 35, Z: 3}, {X: 35, Y: 5, Z: 3},
+	}
+	s := NewSmoother(5)
+	rng := rand.New(rand.NewSource(2))
+	out := s.Shortcut(path, cc, rng)
+	for i := 1; i < len(out); i++ {
+		if !cc.SegmentFree(out[i-1], out[i]) {
+			t.Fatal("shortcut cut through the wall")
+		}
+	}
+}
+
+func TestParameterize(t *testing.T) {
+	s := NewSmoother(5)
+	path := []geom.Vec3{{X: 0, Y: 0, Z: 2}, {X: 30, Y: 0, Z: 2}}
+	tr := s.Parameterize(path)
+	if len(tr.Points) < 10 {
+		t.Fatalf("only %d way-points", len(tr.Points))
+	}
+	// Time strictly increasing, speeds bounded by cruise, yaw along +x.
+	for i, wp := range tr.Points {
+		if i > 0 && wp.T <= tr.Points[i-1].T {
+			t.Fatalf("time not increasing at %d: %v then %v", i, tr.Points[i-1].T, wp.T)
+		}
+		if v := wp.Vel.Len(); v > s.CruiseSpeed+1e-6 {
+			t.Fatalf("speed %v exceeds cruise %v", v, s.CruiseSpeed)
+		}
+		if i < len(tr.Points)-1 && math.Abs(wp.Yaw) > 1e-6 {
+			t.Fatalf("yaw %v along +x path", wp.Yaw)
+		}
+	}
+	// Terminal way-point stops.
+	if tr.Points[len(tr.Points)-1].Vel.Len() != 0 {
+		t.Error("terminal way-point not stopped")
+	}
+	// Duration is plausible: ≥ distance/cruise.
+	if tr.Duration() < 30/5 {
+		t.Errorf("duration %v too short", tr.Duration())
+	}
+	if math.Abs(tr.Length()-30) > 0.5 {
+		t.Errorf("length %v, want ≈30", tr.Length())
+	}
+}
+
+func TestParameterizeDegenerate(t *testing.T) {
+	s := NewSmoother(5)
+	if tr := s.Parameterize(nil); len(tr.Points) != 0 {
+		t.Error("empty path produced points")
+	}
+	tr := s.Parameterize([]geom.Vec3{{X: 1, Y: 2, Z: 3}})
+	if len(tr.Points) != 1 || tr.Duration() != 0 {
+		t.Errorf("single-point path: %+v", tr)
+	}
+	if tr.Length() != 0 {
+		t.Error("single-point length")
+	}
+}
+
+func TestTrajectoryPositions(t *testing.T) {
+	tr := &Trajectory{Points: []Waypoint{
+		{Pos: geom.V(1, 0, 0)}, {Pos: geom.V(2, 0, 0)},
+	}}
+	ps := tr.Positions()
+	if len(ps) != 2 || ps[1] != geom.V(2, 0, 0) {
+		t.Errorf("Positions = %v", ps)
+	}
+}
+
+func TestMissionStateMachine(t *testing.T) {
+	m := NewMission(geom.V(50, 50, 2.5), 2.5, 1.5)
+	if m.Phase() != PhaseTakeoff {
+		t.Error("not starting in takeoff")
+	}
+	// On the ground, still takeoff.
+	if got := m.Update(geom.V(0, 0, 0.1)); got != PhaseTakeoff {
+		t.Errorf("phase = %v", got)
+	}
+	// Reached altitude → navigate.
+	if got := m.Update(geom.V(0, 0, 2.4)); got != PhaseNavigate {
+		t.Errorf("phase = %v", got)
+	}
+	// NavGoal at cruise altitude.
+	if m.NavGoal() != geom.V(50, 50, 2.5) {
+		t.Errorf("NavGoal = %v", m.NavGoal())
+	}
+	// Near the goal → deliver → done.
+	if got := m.Update(geom.V(49.5, 49.5, 2.5)); got != PhaseDeliver {
+		t.Errorf("phase = %v", got)
+	}
+	if got := m.Update(geom.V(49.8, 49.8, 2.5)); got != PhaseDone {
+		t.Errorf("phase = %v", got)
+	}
+	// Phase strings.
+	for p, want := range map[MissionPhase]string{
+		PhaseTakeoff: "takeoff", PhaseNavigate: "navigate",
+		PhaseDeliver: "deliver", PhaseDone: "done",
+	} {
+		if p.String() != want {
+			t.Errorf("String(%d) = %s", p, p.String())
+		}
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if PathLength(nil) != 0 {
+		t.Error("nil path length")
+	}
+	p := []geom.Vec3{{X: 0}, {X: 3}, {X: 3, Y: 4}}
+	if PathLength(p) != 7 {
+		t.Errorf("PathLength = %v", PathLength(p))
+	}
+}

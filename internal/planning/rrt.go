@@ -1,0 +1,49 @@
+package planning
+
+import (
+	"math/rand"
+
+	"mavfi/internal/geom"
+)
+
+// RRT is the baseline rapidly-exploring random tree planner (LaValle 1998):
+// grow a single tree from the start by steering toward uniform samples, and
+// finish when a node can connect to the goal.
+type RRT struct {
+	Cfg Config
+}
+
+// NewRRT returns an RRT planner with the given configuration.
+func NewRRT(cfg Config) *RRT { return &RRT{Cfg: cfg} }
+
+// Name implements Planner.
+func (p *RRT) Name() string { return "RRT" }
+
+// Plan implements Planner.
+func (p *RRT) Plan(start, goal geom.Vec3, cc CollisionChecker, rng *rand.Rand) ([]geom.Vec3, error) {
+	if !cc.PointFree(start) || !cc.PointFree(goal) {
+		return nil, ErrNoPath
+	}
+	if cc.SegmentFree(start, goal) {
+		return []geom.Vec3{start, goal}, nil
+	}
+	tree := []treeNode{{pos: start, parent: -1}}
+	for iter := 0; iter < p.Cfg.MaxIters; iter++ {
+		target := p.Cfg.sample(goal, rng)
+		ni := nearest(tree, target)
+		cand := p.Cfg.steer(tree[ni].pos, target)
+		if !cc.SegmentFree(tree[ni].pos, cand) {
+			continue
+		}
+		tree = append(tree, treeNode{pos: cand, parent: ni})
+		li := len(tree) - 1
+		if cand.Dist(goal) <= p.Cfg.GoalTol && cc.SegmentFree(cand, goal) {
+			path := extractPath(tree, li)
+			if path[len(path)-1] != goal {
+				path = append(path, goal)
+			}
+			return path, nil
+		}
+	}
+	return nil, ErrNoPath
+}

@@ -1,0 +1,88 @@
+package planning
+
+import (
+	"math/rand"
+
+	"mavfi/internal/geom"
+)
+
+// RRTStar is the asymptotically optimal RRT* planner (Karaman & Frazzoli
+// 2011): new nodes choose the lowest-cost parent in a neighbourhood and
+// rewire neighbours through themselves when that shortens their cost-to-
+// come. This is the default motion planner of the paper's PPC pipeline.
+type RRTStar struct {
+	Cfg Config
+}
+
+// NewRRTStar returns an RRT* planner with the given configuration.
+func NewRRTStar(cfg Config) *RRTStar { return &RRTStar{Cfg: cfg} }
+
+// Name implements Planner.
+func (p *RRTStar) Name() string { return "RRT*" }
+
+// Plan implements Planner.
+func (p *RRTStar) Plan(start, goal geom.Vec3, cc CollisionChecker, rng *rand.Rand) ([]geom.Vec3, error) {
+	if !cc.PointFree(start) || !cc.PointFree(goal) {
+		return nil, ErrNoPath
+	}
+	tree := []treeNode{{pos: start, parent: -1, cost: 0}}
+	bestGoal := -1
+	bestCost := 0.0
+
+	for iter := 0; iter < p.Cfg.MaxIters; iter++ {
+		target := p.Cfg.sample(goal, rng)
+		ni := nearest(tree, target)
+		cand := p.Cfg.steer(tree[ni].pos, target)
+		if !cc.SegmentFree(tree[ni].pos, cand) {
+			continue
+		}
+
+		// Choose the cheapest collision-free parent in the neighbourhood.
+		parent := ni
+		cost := tree[ni].cost + tree[ni].pos.Dist(cand)
+		r2 := p.Cfg.RewireRadius * p.Cfg.RewireRadius
+		var hood []int
+		for i := range tree {
+			if tree[i].pos.DistSq(cand) <= r2 {
+				hood = append(hood, i)
+			}
+		}
+		for _, i := range hood {
+			c := tree[i].cost + tree[i].pos.Dist(cand)
+			if c < cost && cc.SegmentFree(tree[i].pos, cand) {
+				parent, cost = i, c
+			}
+		}
+		tree = append(tree, treeNode{pos: cand, parent: parent, cost: cost})
+		li := len(tree) - 1
+
+		// Rewire neighbours through the new node when cheaper.
+		for _, i := range hood {
+			through := cost + cand.Dist(tree[i].pos)
+			if through < tree[i].cost && cc.SegmentFree(cand, tree[i].pos) {
+				tree[i].parent = li
+				tree[i].cost = through
+			}
+		}
+
+		if cand.Dist(goal) <= p.Cfg.GoalTol && cc.SegmentFree(cand, goal) {
+			total := cost + cand.Dist(goal)
+			if bestGoal < 0 || total < bestCost {
+				bestGoal, bestCost = li, total
+			}
+			// Keep sampling a little longer to let rewiring improve the
+			// path, but cap the extra effort at 25% of the budget.
+			if iter > p.Cfg.MaxIters/4 {
+				break
+			}
+		}
+	}
+	if bestGoal < 0 {
+		return nil, ErrNoPath
+	}
+	path := extractPath(tree, bestGoal)
+	if path[len(path)-1] != goal {
+		path = append(path, goal)
+	}
+	return path, nil
+}

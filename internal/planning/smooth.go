@@ -1,0 +1,138 @@
+package planning
+
+import (
+	"math"
+	"math/rand"
+
+	"mavfi/internal/geom"
+)
+
+// Smoother is the path-smoothening kernel: randomised shortcutting followed
+// by way-point densification and trapezoidal time parameterisation, turning
+// a raw planner polyline into the multi-DOF trajectory ("Multidoftraj")
+// published to the control stage.
+type Smoother struct {
+	// ShortcutIters is the number of random shortcut attempts.
+	ShortcutIters int
+	// Spacing is the way-point spacing of the output trajectory in metres.
+	Spacing float64
+	// CruiseSpeed is the nominal speed in m/s.
+	CruiseSpeed float64
+	// Accel is the acceleration used for the speed ramps, m/s².
+	Accel float64
+}
+
+// NewSmoother returns the experiment configuration.
+func NewSmoother(cruiseSpeed float64) *Smoother {
+	return &Smoother{
+		ShortcutIters: 60,
+		Spacing:       1.0,
+		CruiseSpeed:   cruiseSpeed,
+		Accel:         3.0,
+	}
+}
+
+// Shortcut performs randomised shortcutting on a polyline path: pick two
+// non-adjacent way-points, and splice them together when the straight
+// segment between them is collision-free.
+func (s *Smoother) Shortcut(path []geom.Vec3, cc CollisionChecker, rng *rand.Rand) []geom.Vec3 {
+	if len(path) < 3 {
+		return path
+	}
+	out := append([]geom.Vec3(nil), path...)
+	for iter := 0; iter < s.ShortcutIters && len(out) > 2; iter++ {
+		i := rng.Intn(len(out) - 2)
+		j := i + 2 + rng.Intn(len(out)-i-2)
+		if cc.SegmentFree(out[i], out[j]) {
+			out = append(out[:i+1], out[j:]...)
+		}
+	}
+	return out
+}
+
+// Parameterize densifies the polyline at the configured spacing and assigns
+// per-way-point velocity, yaw, and time using a trapezoidal speed profile
+// (ramp up from rest, cruise, ramp down to rest at the goal).
+func (s *Smoother) Parameterize(path []geom.Vec3) *Trajectory {
+	if len(path) == 0 {
+		return &Trajectory{}
+	}
+	if len(path) == 1 {
+		return &Trajectory{Points: []Waypoint{{Pos: path[0]}}}
+	}
+
+	// Densify.
+	var pts []geom.Vec3
+	pts = append(pts, path[0])
+	for i := 1; i < len(path); i++ {
+		seg := path[i].Sub(path[i-1])
+		segLen := seg.Len()
+		n := int(math.Ceil(segLen / s.Spacing))
+		for k := 1; k <= n; k++ {
+			pts = append(pts, path[i-1].Add(seg.Scale(float64(k)/float64(n))))
+		}
+	}
+
+	// Cumulative arc length.
+	cum := make([]float64, len(pts))
+	for i := 1; i < len(pts); i++ {
+		cum[i] = cum[i-1] + pts[i].Dist(pts[i-1])
+	}
+	total := cum[len(cum)-1]
+
+	// Trapezoidal speed profile over arc length.
+	rampDist := s.CruiseSpeed * s.CruiseSpeed / (2 * s.Accel)
+	speedAt := func(d float64) float64 {
+		var v float64
+		switch {
+		case total <= 2*rampDist:
+			// Triangle profile: never reaches cruise.
+			half := total / 2
+			if d <= half {
+				v = math.Sqrt(2 * s.Accel * d)
+			} else {
+				v = math.Sqrt(2 * s.Accel * (total - d))
+			}
+		case d < rampDist:
+			v = math.Sqrt(2 * s.Accel * d)
+		case d > total-rampDist:
+			v = math.Sqrt(2 * s.Accel * (total - d))
+		default:
+			v = s.CruiseSpeed
+		}
+		// Floor the feed-forward speed so way-point times stay finite.
+		return math.Max(v, 0.3)
+	}
+
+	tr := &Trajectory{Points: make([]Waypoint, len(pts))}
+	t := 0.0
+	for i, p := range pts {
+		var dir geom.Vec3
+		if i+1 < len(pts) {
+			dir = pts[i+1].Sub(p).Normalize()
+		} else {
+			dir = p.Sub(pts[i-1]).Normalize()
+		}
+		v := speedAt(cum[i])
+		if i > 0 {
+			segLen := cum[i] - cum[i-1]
+			vPrev := speedAt(cum[i-1])
+			t += segLen / math.Max((v+vPrev)/2, 0.15)
+		}
+		tr.Points[i] = Waypoint{
+			Pos: p,
+			Vel: dir.Scale(v),
+			Yaw: dir.Yaw(),
+			T:   t,
+		}
+	}
+	// Terminal way-point: stop.
+	last := &tr.Points[len(tr.Points)-1]
+	last.Vel = geom.Vec3{}
+	return tr
+}
+
+// Smooth runs the full kernel: shortcut then parameterise.
+func (s *Smoother) Smooth(path []geom.Vec3, cc CollisionChecker, rng *rand.Rand) *Trajectory {
+	return s.Parameterize(s.Shortcut(path, cc, rng))
+}

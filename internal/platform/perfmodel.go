@@ -1,0 +1,160 @@
+package platform
+
+import "math"
+
+// This file implements the cyber-physical "visual performance model" of
+// Krishnan et al., "The Sky Is Not the Limit" (IEEE CAL 2020) — reference
+// [16] of the paper — which Fig. 8 uses to compare hardware redundancy
+// (DMR/TMR) against the software anomaly-detection schemes on two airframes.
+//
+// The model's chain: compute latency bounds how fast the vehicle may fly
+// before it can no longer stop within its sensing range; compute power and
+// weight reduce the energy and thrust available for flight. Redundant
+// compute (DMR/TMR) multiplies compute power and weight, lowering velocity
+// and raising mission time and energy.
+
+// Airframe describes one vehicle for the performance model.
+type Airframe struct {
+	Name string
+	// MassKg is the base vehicle mass without the companion computer.
+	MassKg float64
+	// MaxThrustN is the total thrust capability.
+	MaxThrustN float64
+	// BatteryJ is usable battery energy.
+	BatteryJ float64
+	// SenseRangeM is the obstacle-sensing range.
+	SenseRangeM float64
+	// HoverBaseW is hover power at base mass.
+	HoverBaseW float64
+	// VMaxMS is the airframe's structural top speed.
+	VMaxMS float64
+}
+
+// AirSimUAV returns the larger AirSim-style quadrotor used in the paper's
+// Fig. 8b.
+func AirSimUAV() Airframe {
+	return Airframe{
+		Name:        "AirSim UAV",
+		MassKg:      3.0,
+		MaxThrustN:  78,
+		BatteryJ:    480e3,
+		SenseRangeM: 20,
+		HoverBaseW:  480,
+		VMaxMS:      12,
+	}
+}
+
+// DJISpark returns the small consumer drone of Fig. 8c; its tiny mass budget
+// is what makes redundant compute hardware so costly on it.
+func DJISpark() Airframe {
+	return Airframe{
+		Name:        "DJI Spark",
+		MassKg:      0.30,
+		MaxThrustN:  5.5,
+		BatteryJ:    58e3,
+		SenseRangeM: 10,
+		HoverBaseW:  55,
+		VMaxMS:      8,
+	}
+}
+
+// Redundancy enumerates the hardware protection schemes compared in Fig. 8.
+type Redundancy int
+
+const (
+	// NoRedundancy is the software anomaly-D&R configuration: a single
+	// compute unit, negligible added weight or power.
+	NoRedundancy Redundancy = iota
+	// DMR is dual modular redundancy: two compute units (detection only).
+	DMR
+	// TMR is triple modular redundancy: three compute units with voting.
+	TMR
+)
+
+// String implements fmt.Stringer.
+func (r Redundancy) String() string {
+	switch r {
+	case DMR:
+		return "DMR"
+	case TMR:
+		return "TMR"
+	default:
+		return "D&R"
+	}
+}
+
+// Modules returns the compute-unit multiplier.
+func (r Redundancy) Modules() float64 {
+	switch r {
+	case DMR:
+		return 2
+	case TMR:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// ComputeUnit is the physical companion computer carried by the airframe.
+type ComputeUnit struct {
+	Name   string
+	PowerW float64
+	MassKg float64
+}
+
+// CortexA57Unit returns the Jetson-class module used in Fig. 8 (both
+// configurations run on ARM Cortex-A57 per the paper).
+func CortexA57Unit() ComputeUnit {
+	return ComputeUnit{Name: "Cortex-A57", PowerW: 15, MassKg: 0.085}
+}
+
+// Perf is the performance-model output for one configuration.
+type Perf struct {
+	Airframe    string
+	Scheme      string
+	VelocityMS  float64
+	FlightTimeS float64
+	EnergyJ     float64
+}
+
+// Evaluate runs the visual performance model for one airframe carrying the
+// compute unit under the given redundancy, for a mission of the given
+// length in metres. responseTimeS is the pipeline sensor-to-command latency
+// (redundancy adds a voting/synchronisation delay of 5% per extra module).
+func Evaluate(af Airframe, cu ComputeUnit, r Redundancy, responseTimeS, missionM float64) Perf {
+	modules := r.Modules()
+	// Redundant modules ride along: more mass, more power, plus a voting
+	// latency penalty.
+	mass := af.MassKg + cu.MassKg*modules
+	computeW := cu.PowerW * modules
+	tResp := responseTimeS * (1 + 0.05*(modules-1))
+
+	// Thrust-to-weight sets achievable acceleration (reserve 1 g to hover).
+	const g = 9.81
+	accel := af.MaxThrustN/mass - g
+	if accel < 0.5 {
+		accel = 0.5 // barely flyable
+	}
+
+	// Max safe velocity: the vehicle must stop within its sensing range
+	// after a full pipeline reaction delay:
+	//   v·t_resp + v²/(2a) ≤ d_sense
+	// solved for v:
+	v := accel * (math.Sqrt(tResp*tResp+2*af.SenseRangeM/accel) - tResp)
+	if v > af.VMaxMS {
+		v = af.VMaxMS
+	}
+
+	// Hover power scales with mass^1.5 (rotorcraft induced-power law).
+	hoverW := af.HoverBaseW * math.Pow(mass/af.MassKg, 1.5)
+
+	t := missionM / v
+	e := (hoverW + computeW) * t
+	return Perf{
+		Airframe:    af.Name,
+		Scheme:      r.String(),
+		VelocityMS:  v,
+		FlightTimeS: t,
+		EnergyJ:     e,
+	}
+}

@@ -1,0 +1,78 @@
+// Package platform models the compute platforms, redundancy schemes, and
+// the cyber-physical "visual performance model" the paper uses for its
+// hardware comparisons (Fig. 8, Fig. 9).
+//
+// Compute time is simulated: every kernel invocation charges a
+// platform-specific latency to the mission clock, so overhead percentages
+// and platform comparisons are reproducible regardless of the host machine.
+package platform
+
+// Platform describes one companion-computer model with its per-kernel
+// latencies in seconds. The i9 latencies for map update (289 ms), trajectory
+// generation (83 ms), and control recomputation (0.46 ms) are taken directly
+// from the paper's §VI-C; the rest are set to MAVBench-scale values.
+type Platform struct {
+	Name    string
+	Cores   int
+	FreqGHz float64
+	PowerW  float64 // companion-computer draw
+	// Kernel latencies, seconds per invocation.
+	PCGenS    float64 // point cloud generation, per frame
+	OctoMapS  float64 // occupancy map update, per integration
+	ColCheckS float64 // collision check, per tick
+	PlanS     float64 // motion planning + smoothening ("trajectory generation")
+	ControlS  float64 // path tracking / command issue, per tick
+	// Detector costs, seconds per observation tick.
+	GADObserveS float64 // 13 range checks + Welford updates
+	AADObserveS float64 // 13-6-3-13 autoencoder forward pass
+}
+
+// I9 returns the Intel i9-9940X companion-computer model (the paper's
+// default platform: 14 cores, 3.3 GHz, 165 W).
+func I9() Platform {
+	return Platform{
+		Name:    "i9-9940X",
+		Cores:   14,
+		FreqGHz: 3.3,
+		PowerW:  165,
+
+		PCGenS:    0.012,
+		OctoMapS:  0.289, // paper: ~289 ms per occupancy map update
+		ColCheckS: 0.010,
+		PlanS:     0.083, // paper: ~83 ms per trajectory generation
+		ControlS:  0.00046,
+
+		GADObserveS: 6.0e-8, // 13 range checks + Welford updates
+		AADObserveS: 2.5e-6, // 13-6-3-13 autoencoder forward pass
+	}
+}
+
+// TX2 returns the NVIDIA Jetson TX2 / ARM Cortex-A57 companion-computer
+// model (4 cores, 2 GHz, <15 W). Kernel latencies scale by the
+// single-thread-performance gap to the i9 — the paper reports the worst
+// flight time growing 2.8× on the TX2 because the edge platform responds
+// more slowly to environmental changes.
+func TX2() Platform {
+	const slowdown = 7.0
+	p := I9()
+	p.Name = "Cortex-A57"
+	p.Cores = 4
+	p.FreqGHz = 2.0
+	p.PowerW = 15
+	p.PCGenS *= slowdown
+	p.OctoMapS *= slowdown
+	p.ColCheckS *= slowdown
+	p.PlanS *= slowdown
+	p.ControlS *= slowdown
+	p.GADObserveS *= slowdown
+	p.AADObserveS *= slowdown
+	return p
+}
+
+// ResponseTimeS returns the sensor-to-command latency of one pipeline pass,
+// the t_response input of the visual performance model: the perception and
+// control path that must complete before a new command reflects a new
+// obstacle.
+func (p Platform) ResponseTimeS() float64 {
+	return p.PCGenS + p.OctoMapS + p.ColCheckS + p.ControlS
+}

@@ -1,0 +1,128 @@
+package platform
+
+import (
+	"testing"
+)
+
+func TestI9MatchesPaperLatencies(t *testing.T) {
+	p := I9()
+	// The paper's §VI-C reports these i9 kernel costs directly.
+	if p.OctoMapS != 0.289 {
+		t.Errorf("OctoMap latency = %v, want 0.289 (paper)", p.OctoMapS)
+	}
+	if p.PlanS != 0.083 {
+		t.Errorf("plan latency = %v, want 0.083 (paper)", p.PlanS)
+	}
+	if p.ControlS != 0.00046 {
+		t.Errorf("control latency = %v, want 0.00046 (paper)", p.ControlS)
+	}
+	if p.Cores != 14 || p.FreqGHz != 3.3 || p.PowerW != 165 {
+		t.Errorf("i9 specs: %+v", p)
+	}
+}
+
+func TestTX2SlowerEverywhere(t *testing.T) {
+	i9, tx2 := I9(), TX2()
+	if tx2.PCGenS <= i9.PCGenS || tx2.OctoMapS <= i9.OctoMapS ||
+		tx2.ColCheckS <= i9.ColCheckS || tx2.PlanS <= i9.PlanS ||
+		tx2.ControlS <= i9.ControlS {
+		t.Error("TX2 not uniformly slower than i9")
+	}
+	if tx2.PowerW >= i9.PowerW {
+		t.Error("TX2 should draw less power")
+	}
+	if tx2.Cores != 4 || tx2.FreqGHz != 2.0 {
+		t.Errorf("TX2 specs: %+v", tx2)
+	}
+}
+
+func TestResponseTime(t *testing.T) {
+	p := I9()
+	want := p.PCGenS + p.OctoMapS + p.ColCheckS + p.ControlS
+	if got := p.ResponseTimeS(); got != want {
+		t.Errorf("ResponseTimeS = %v, want %v", got, want)
+	}
+	if TX2().ResponseTimeS() <= I9().ResponseTimeS() {
+		t.Error("TX2 response not slower")
+	}
+}
+
+func TestRedundancyModules(t *testing.T) {
+	if NoRedundancy.Modules() != 1 || DMR.Modules() != 2 || TMR.Modules() != 3 {
+		t.Error("module counts wrong")
+	}
+	if NoRedundancy.String() != "D&R" || DMR.String() != "DMR" || TMR.String() != "TMR" {
+		t.Error("redundancy names wrong")
+	}
+}
+
+func TestPerfModelOrdering(t *testing.T) {
+	cu := CortexA57Unit()
+	tResp := TX2().ResponseTimeS()
+	const mission = 400.0
+	for _, af := range []Airframe{AirSimUAV(), DJISpark()} {
+		dr := Evaluate(af, cu, NoRedundancy, tResp, mission)
+		dmr := Evaluate(af, cu, DMR, tResp, mission)
+		tmr := Evaluate(af, cu, TMR, tResp, mission)
+		// Redundancy monotonically costs velocity, time, and energy.
+		if !(dr.VelocityMS >= dmr.VelocityMS && dmr.VelocityMS >= tmr.VelocityMS) {
+			t.Errorf("%s velocity ordering: %v %v %v", af.Name, dr.VelocityMS, dmr.VelocityMS, tmr.VelocityMS)
+		}
+		if !(dr.FlightTimeS <= dmr.FlightTimeS && dmr.FlightTimeS <= tmr.FlightTimeS) {
+			t.Errorf("%s time ordering: %v %v %v", af.Name, dr.FlightTimeS, dmr.FlightTimeS, tmr.FlightTimeS)
+		}
+		if !(dr.EnergyJ <= dmr.EnergyJ && dmr.EnergyJ <= tmr.EnergyJ) {
+			t.Errorf("%s energy ordering: %v %v %v", af.Name, dr.EnergyJ, dmr.EnergyJ, tmr.EnergyJ)
+		}
+		if dr.VelocityMS <= 0 || dr.FlightTimeS <= 0 || dr.EnergyJ <= 0 {
+			t.Errorf("%s non-positive perf: %+v", af.Name, dr)
+		}
+	}
+}
+
+func TestPerfModelSparkSuffersMore(t *testing.T) {
+	// The paper's Fig. 8 core finding: redundant compute hardware costs
+	// the small DJI Spark far more than the larger AirSim UAV (1.91× vs
+	// 1.06× flight time for TMR).
+	cu := CortexA57Unit()
+	tResp := TX2().ResponseTimeS()
+	const mission = 400.0
+	ratio := func(af Airframe) float64 {
+		dr := Evaluate(af, cu, NoRedundancy, tResp, mission)
+		tmr := Evaluate(af, cu, TMR, tResp, mission)
+		return tmr.FlightTimeS / dr.FlightTimeS
+	}
+	airsim := ratio(AirSimUAV())
+	spark := ratio(DJISpark())
+	if spark <= airsim {
+		t.Errorf("Spark TMR ratio %v not worse than AirSim %v", spark, airsim)
+	}
+	if airsim < 1.0 || airsim > 1.4 {
+		t.Errorf("AirSim TMR ratio %v out of plausible band (paper: 1.06)", airsim)
+	}
+	if spark < 1.3 {
+		t.Errorf("Spark TMR ratio %v too small (paper: 1.91)", spark)
+	}
+}
+
+func TestPerfModelStructuralSpeedCap(t *testing.T) {
+	// A huge sensing range cannot push velocity past the airframe's
+	// structural top speed.
+	af := AirSimUAV()
+	af.SenseRangeM = 1e6
+	p := Evaluate(af, CortexA57Unit(), NoRedundancy, 0.01, 400)
+	if p.VelocityMS > af.VMaxMS+1e-9 {
+		t.Errorf("velocity %v exceeds structural cap %v", p.VelocityMS, af.VMaxMS)
+	}
+}
+
+func TestPerfModelBarelyFlyable(t *testing.T) {
+	// Overloading a tiny airframe with compute still yields a positive,
+	// finite result (the barely-flyable floor).
+	af := DJISpark()
+	heavy := ComputeUnit{Name: "brick", PowerW: 100, MassKg: 5}
+	p := Evaluate(af, heavy, TMR, 1.0, 400)
+	if p.VelocityMS <= 0 || p.FlightTimeS <= 0 {
+		t.Errorf("overloaded airframe: %+v", p)
+	}
+}

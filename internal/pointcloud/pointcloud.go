@@ -1,0 +1,86 @@
+// Package pointcloud implements the Point Cloud Generation kernel: the first
+// perception-stage compute kernel, converting an RGB-D depth frame into a
+// world-frame point cloud that feeds the OctoMap generation kernel.
+package pointcloud
+
+import (
+	"mavfi/internal/geom"
+	"mavfi/internal/sim"
+)
+
+// Point is one cloud point plus whether the originating ray actually hit a
+// surface (false means the ray reached max range, which carves free space
+// only).
+type Point struct {
+	P   geom.Vec3
+	Hit bool
+}
+
+// Cloud is a world-frame point cloud tagged with the sensor pose it was
+// captured from, which OctoMap needs as the ray origin.
+type Cloud struct {
+	T      float64
+	Origin geom.Vec3
+	Points []Point
+}
+
+// Generator is the point-cloud-generation kernel. Stride subsamples the
+// depth image (1 = every pixel); MinDepth discards readings closer than the
+// airframe.
+type Generator struct {
+	Stride   int
+	MinDepth float64
+}
+
+// NewGenerator returns the kernel with the configuration used in the
+// experiments.
+func NewGenerator() *Generator {
+	return &Generator{Stride: 1, MinDepth: 0.2}
+}
+
+// Generate converts a depth image to a point cloud. This is an injectable
+// kernel: its per-point range computation is a fault-injection site in the
+// campaign (see internal/faultinject).
+func (g *Generator) Generate(img *sim.DepthImage, corrupt func(depth float64) float64) *Cloud {
+	stride := g.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	c := &Cloud{Origin: img.Pos}
+	for r := 0; r < img.Rows; r += stride {
+		for col := 0; col < img.Cols; col += stride {
+			depth := img.At(r, col)
+			if corrupt != nil {
+				depth = corrupt(depth)
+			}
+			if depth < g.MinDepth {
+				continue
+			}
+			hit := depth < img.MaxRange
+			if depth > img.MaxRange {
+				depth = img.MaxRange
+				hit = false
+			}
+			dir := img.Ray(r, col)
+			c.Points = append(c.Points, Point{P: img.Pos.Add(dir.Scale(depth)), Hit: hit})
+		}
+	}
+	return c
+}
+
+// Centroid returns the mean of all hit points, a cheap summary used by
+// tests; ok is false when the cloud has no hits.
+func (c *Cloud) Centroid() (geom.Vec3, bool) {
+	var sum geom.Vec3
+	n := 0
+	for _, p := range c.Points {
+		if p.Hit {
+			sum = sum.Add(p.P)
+			n++
+		}
+	}
+	if n == 0 {
+		return geom.Vec3{}, false
+	}
+	return sum.Scale(1 / float64(n)), true
+}

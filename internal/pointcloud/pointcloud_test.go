@@ -1,0 +1,137 @@
+package pointcloud
+
+import (
+	"math"
+	"testing"
+
+	"mavfi/internal/env"
+	"mavfi/internal/geom"
+	"mavfi/internal/sim"
+)
+
+func wallWorld() *env.World {
+	return &env.World{
+		Name:      "wall",
+		Bounds:    geom.Box(geom.V(0, 0, 0), geom.V(100, 100, 50)),
+		Obstacles: []geom.AABB{geom.Box(geom.V(20, 0, 0), geom.V(22, 100, 30))},
+	}
+}
+
+func captureFrame() *sim.DepthImage {
+	cam := sim.DefaultDepthCamera()
+	cam.NoiseStd = 0
+	return cam.Capture(wallWorld(), geom.V(10, 50, 5), 0, nil)
+}
+
+func TestGenerateGeometry(t *testing.T) {
+	img := captureFrame()
+	cloud := NewGenerator().Generate(img, nil)
+	if len(cloud.Points) == 0 {
+		t.Fatal("empty cloud")
+	}
+	if cloud.Origin != img.Pos {
+		t.Errorf("origin = %v", cloud.Origin)
+	}
+	hits := 0
+	for _, p := range cloud.Points {
+		if !p.Hit {
+			continue
+		}
+		hits++
+		// Every hit point lies on (or extremely near) the wall face or
+		// the ground plane.
+		onWall := math.Abs(p.P.X-20) < 0.2
+		onGround := p.P.Z < 0.2
+		if !onWall && !onGround {
+			t.Fatalf("hit point %v not on any surface", p.P)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hit points against a wall 10 m ahead")
+	}
+}
+
+func TestGenerateStride(t *testing.T) {
+	img := captureFrame()
+	full := NewGenerator().Generate(img, nil)
+	g := NewGenerator()
+	g.Stride = 2
+	quarter := g.Generate(img, nil)
+	if len(quarter.Points) >= len(full.Points) {
+		t.Errorf("stride 2 cloud (%d) not smaller than full (%d)", len(quarter.Points), len(full.Points))
+	}
+	// Negative stride is sanitised to 1.
+	g.Stride = -3
+	if got := g.Generate(img, nil); len(got.Points) != len(full.Points) {
+		t.Error("negative stride not sanitised")
+	}
+}
+
+func TestGenerateMinDepth(t *testing.T) {
+	img := captureFrame()
+	g := NewGenerator()
+	g.MinDepth = 1e9 // discard everything
+	cloud := g.Generate(img, nil)
+	if len(cloud.Points) != 0 {
+		t.Errorf("min-depth filter kept %d points", len(cloud.Points))
+	}
+}
+
+func TestGenerateCorruptHook(t *testing.T) {
+	img := captureFrame()
+	calls := 0
+	cloud := NewGenerator().Generate(img, func(d float64) float64 {
+		calls++
+		return d
+	})
+	if calls != img.Rows*img.Cols {
+		t.Errorf("hook called %d times, want %d", calls, img.Rows*img.Cols)
+	}
+	// A hook that shortens one ray produces a point closer than the wall.
+	fired := false
+	cloud2 := NewGenerator().Generate(img, func(d float64) float64 {
+		if !fired && d < img.MaxRange {
+			fired = true
+			return d / 2
+		}
+		return d
+	})
+	if len(cloud2.Points) != len(cloud.Points) {
+		t.Errorf("corruption changed point count: %d vs %d", len(cloud2.Points), len(cloud.Points))
+	}
+}
+
+func TestGenerateCorruptOverrange(t *testing.T) {
+	img := captureFrame()
+	// Corruption pushing a depth beyond max range must clamp to a
+	// non-hit point at max range.
+	fired := false
+	cloud := NewGenerator().Generate(img, func(d float64) float64 {
+		if !fired && d < img.MaxRange {
+			fired = true
+			return d * 1e10
+		}
+		return d
+	})
+	for _, p := range cloud.Points {
+		if p.P.Dist(img.Pos) > img.MaxRange+1e-6 {
+			t.Fatalf("point %v beyond max range", p.P)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	img := captureFrame()
+	cloud := NewGenerator().Generate(img, nil)
+	c, ok := cloud.Centroid()
+	if !ok {
+		t.Fatal("no centroid for cloud with hits")
+	}
+	if c.X < 15 || c.X > 25 {
+		t.Errorf("centroid %v not near wall", c)
+	}
+	empty := &Cloud{}
+	if _, ok := empty.Centroid(); ok {
+		t.Error("empty cloud has centroid")
+	}
+}

@@ -1,0 +1,39 @@
+package ros
+
+import "fmt"
+
+// Node is a participant in the graph, typically hosting one PPC compute
+// kernel (the paper's "each ROS node comprises a single compute kernel").
+type Node struct {
+	name      string
+	graph     *Graph
+	restarts  int
+	onRestart func()
+}
+
+// Name returns the node's registered name.
+func (n *Node) Name() string { return n.name }
+
+// Graph returns the graph this node belongs to.
+func (n *Node) Graph() *Graph { return n.graph }
+
+// Restarts returns how many times the master has restarted this node after
+// a crash.
+func (n *Node) Restarts() int { return n.restarts }
+
+// OnRestart registers a hook the master invokes after restarting this node,
+// used by kernels to reinitialise internal state.
+func (n *Node) OnRestart(f func()) { n.onRestart = f }
+
+// guard runs f, converting a panic into a master-recovered crash. It returns
+// whether f completed without crashing.
+func (n *Node) guard(context string, f func()) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			n.graph.recordCrash(n, fmt.Sprintf("%s: %v", context, r))
+			ok = false
+		}
+	}()
+	f()
+	return true
+}

@@ -1,0 +1,287 @@
+package ros
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPubSubImmediate(t *testing.T) {
+	g := NewGraph()
+	n := g.NewNode("sub")
+	topic := OpenTopic[int](g, "/t")
+	var got []int
+	topic.Subscribe(n, func(v int) { got = append(got, v) })
+	topic.Publish(1)
+	topic.Publish(2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("got %v", got)
+	}
+	if topic.Published() != 2 {
+		t.Errorf("Published = %d", topic.Published())
+	}
+}
+
+func TestFanOutOrder(t *testing.T) {
+	g := NewGraph()
+	topic := OpenTopic[string](g, "/t")
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		n := g.NewNode(name)
+		nm := name
+		topic.Subscribe(n, func(string) { order = append(order, nm) })
+	}
+	topic.Publish("x")
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("delivery order %v", order)
+	}
+}
+
+func TestOpenTopicTypeMismatchPanics(t *testing.T) {
+	g := NewGraph()
+	OpenTopic[int](g, "/t")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on type mismatch")
+		}
+	}()
+	OpenTopic[string](g, "/t")
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	g := NewGraph()
+	g.NewNode("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on duplicate node")
+		}
+	}()
+	g.NewNode("x")
+}
+
+func TestInterceptorTransformAndDrop(t *testing.T) {
+	g := NewGraph()
+	n := g.NewNode("sub")
+	topic := OpenTopic[int](g, "/t")
+	var got []int
+	topic.Subscribe(n, func(v int) { got = append(got, v) })
+
+	topic.Intercept(func(v int) (int, bool) { return v * 10, false })
+	topic.Intercept(func(v int) (int, bool) { return v + 1, v == 31 }) // drops 3*10+... when v==31
+
+	topic.Publish(1) // → 10 → 11
+	topic.Publish(3) // → 30 → dropped? v==31 check happens on 30+1... (drop condition sees input 30? no: ic gets 30, returns 31 with drop 30==31 false)
+	if len(got) != 2 || got[0] != 11 || got[1] != 31 {
+		t.Errorf("got %v", got)
+	}
+
+	topic.ClearInterceptors()
+	topic.Intercept(func(v int) (int, bool) { return v, true })
+	topic.Publish(5)
+	if len(got) != 2 {
+		t.Error("dropped message was delivered")
+	}
+	if topic.Dropped() != 1 {
+		t.Errorf("Dropped = %d", topic.Dropped())
+	}
+}
+
+func TestLatchedTopic(t *testing.T) {
+	g := NewGraph()
+	topic := OpenTopic[int](g, "/t")
+	topic.SetLatched(true)
+	topic.Publish(42)
+	n := g.NewNode("late")
+	var got []int
+	topic.Subscribe(n, func(v int) { got = append(got, v) })
+	if len(got) != 1 || got[0] != 42 {
+		t.Errorf("late subscriber got %v", got)
+	}
+}
+
+func TestCrashRecoveryAndRestart(t *testing.T) {
+	g := NewGraph()
+	n := g.NewNode("crashy")
+	restarted := 0
+	n.OnRestart(func() { restarted++ })
+	topic := OpenTopic[int](g, "/t")
+	calls := 0
+	topic.Subscribe(n, func(v int) {
+		calls++
+		if v < 0 {
+			panic("negative input")
+		}
+	})
+	topic.Publish(1)
+	topic.Publish(-1) // crashes; master recovers and restarts
+	topic.Publish(2)  // node keeps receiving after restart
+	if calls != 3 {
+		t.Errorf("calls = %d", calls)
+	}
+	if n.Restarts() != 1 || restarted != 1 {
+		t.Errorf("restarts = %d / hook %d", n.Restarts(), restarted)
+	}
+	if len(g.CrashLog) != 1 || g.CrashLog[0].Node != "crashy" {
+		t.Errorf("crash log %v", g.CrashLog)
+	}
+}
+
+func TestQueuedModeSpin(t *testing.T) {
+	g := NewGraph()
+	g.SetMode(Queued)
+	n := g.NewNode("sub")
+	topic := OpenTopic[int](g, "/t")
+	var got []int
+	topic.Subscribe(n, func(v int) { got = append(got, v) })
+
+	topic.Publish(1)
+	topic.Publish(2)
+	if len(got) != 0 {
+		t.Error("queued mode delivered immediately")
+	}
+	if g.PendingDeliveries() != 2 {
+		t.Errorf("pending = %d", g.PendingDeliveries())
+	}
+	if n := g.SpinOnce(); n != 2 {
+		t.Errorf("SpinOnce = %d", n)
+	}
+	if len(got) != 2 {
+		t.Errorf("after spin got %v", got)
+	}
+}
+
+func TestQueuedCascadeNeedsMultipleSpins(t *testing.T) {
+	g := NewGraph()
+	g.SetMode(Queued)
+	a := OpenTopic[int](g, "/a")
+	b := OpenTopic[int](g, "/b")
+	n1 := g.NewNode("n1")
+	n2 := g.NewNode("n2")
+	var final []int
+	a.Subscribe(n1, func(v int) { b.Publish(v * 2) })
+	b.Subscribe(n2, func(v int) { final = append(final, v) })
+
+	a.Publish(3)
+	g.SpinOnce() // delivers a→n1, which queues b
+	if len(final) != 0 {
+		t.Error("cascade delivered in one spin")
+	}
+	g.SpinOnce()
+	if len(final) != 1 || final[0] != 6 {
+		t.Errorf("final %v", final)
+	}
+
+	// Spin drains everything.
+	a.Publish(1)
+	total := g.Spin(10)
+	if total != 2 || len(final) != 2 {
+		t.Errorf("Spin delivered %d, final %v", total, final)
+	}
+}
+
+func TestQueueOverflowDropsOldest(t *testing.T) {
+	g := NewGraph()
+	g.SetMode(Queued)
+	n := g.NewNode("sub")
+	topic := OpenTopic[int](g, "/t")
+	var got []int
+	topic.SubscribeQueued(n, 2, func(v int) { got = append(got, v) })
+	topic.Publish(1)
+	topic.Publish(2)
+	topic.Publish(3) // overflows: 1 dropped
+	g.Spin(10)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("got %v", got)
+	}
+	if topic.Dropped() != 1 {
+		t.Errorf("Dropped = %d", topic.Dropped())
+	}
+}
+
+func TestModeSwitchGuard(t *testing.T) {
+	g := NewGraph()
+	g.SetMode(Queued)
+	n := g.NewNode("sub")
+	topic := OpenTopic[int](g, "/t")
+	topic.Subscribe(n, func(int) {})
+	topic.Publish(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic switching modes with pending messages")
+		}
+	}()
+	g.SetMode(Immediate)
+}
+
+func TestServices(t *testing.T) {
+	g := NewGraph()
+	n := g.NewNode("server")
+	svc := RegisterService(n, "/double", func(x int) (int, error) {
+		if x < 0 {
+			return 0, errors.New("negative")
+		}
+		return x * 2, nil
+	})
+	got, err := svc.Call(21)
+	if err != nil || got != 42 {
+		t.Errorf("Call = %v, %v", got, err)
+	}
+	if _, err := svc.Call(-1); err == nil {
+		t.Error("handler error not propagated")
+	}
+	if svc.Calls() != 2 {
+		t.Errorf("Calls = %d", svc.Calls())
+	}
+
+	// Lookup.
+	found, err := LookupService[int, int](g, "/double")
+	if err != nil || found != svc {
+		t.Errorf("lookup: %v, %v", found, err)
+	}
+	if _, err := LookupService[int, int](g, "/missing"); err == nil {
+		t.Error("missing service lookup succeeded")
+	}
+	if _, err := LookupService[string, string](g, "/double"); err == nil {
+		t.Error("mismatched service lookup succeeded")
+	}
+}
+
+func TestServiceCrash(t *testing.T) {
+	g := NewGraph()
+	n := g.NewNode("server")
+	svc := RegisterService(n, "/boom", func(x int) (int, error) {
+		panic("kernel fault")
+	})
+	_, err := svc.Call(1)
+	if !errors.Is(err, ErrServiceCrashed) {
+		t.Errorf("err = %v", err)
+	}
+	if n.Restarts() != 1 {
+		t.Errorf("restarts = %d", n.Restarts())
+	}
+}
+
+func TestGraphIntrospection(t *testing.T) {
+	g := NewGraph()
+	n := g.NewNode("b")
+	g.NewNode("a")
+	OpenTopic[int](g, "/z")
+	OpenTopic[int](g, "/a")
+	RegisterService(n, "/svc", func(x int) (int, error) { return x, nil })
+
+	if nodes := g.Nodes(); len(nodes) != 2 || nodes[0] != "a" || nodes[1] != "b" {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if topics := g.Topics(); len(topics) != 2 || topics[0] != "/a" {
+		t.Errorf("Topics = %v", topics)
+	}
+	if svcs := g.Services(); len(svcs) != 1 || svcs[0] != "/svc" {
+		t.Errorf("Services = %v", svcs)
+	}
+	if g.Node("a") == nil || g.Node("missing") != nil {
+		t.Error("Node lookup wrong")
+	}
+	// Reopening the same typed topic returns the same instance.
+	if OpenTopic[int](g, "/a") != OpenTopic[int](g, "/a") {
+		t.Error("OpenTopic not idempotent")
+	}
+}

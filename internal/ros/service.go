@@ -1,0 +1,71 @@
+package ros
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrServiceCrashed is returned by Service.Call when the handler panicked;
+// the master recovers and restarts the serving node, and the caller decides
+// whether to retry — matching ROS service-call failure semantics.
+var ErrServiceCrashed = errors.New("ros: service handler crashed")
+
+// Service is a typed one-to-one request/response endpoint (the paper's
+// "ROS services (one-to-one communication)").
+type Service[Req, Resp any] struct {
+	name    string
+	graph   *Graph
+	node    *Node
+	handler func(Req) (Resp, error)
+	calls   int
+}
+
+// RegisterService creates a service served by node with the given handler.
+// Registering a duplicate name panics.
+func RegisterService[Req, Resp any](node *Node, name string, handler func(Req) (Resp, error)) *Service[Req, Resp] {
+	g := node.graph
+	if _, dup := g.services[name]; dup {
+		panic(fmt.Sprintf("ros: duplicate service name %q", name))
+	}
+	s := &Service[Req, Resp]{name: name, graph: g, node: node, handler: handler}
+	g.services[name] = s
+	return s
+}
+
+// LookupService finds a registered service by name, with type checking.
+func LookupService[Req, Resp any](g *Graph, name string) (*Service[Req, Resp], error) {
+	h, ok := g.services[name]
+	if !ok {
+		return nil, fmt.Errorf("ros: service %q not found", name)
+	}
+	s, ok := h.(*Service[Req, Resp])
+	if !ok {
+		return nil, fmt.Errorf("ros: service %q has mismatched type", name)
+	}
+	return s, nil
+}
+
+// Name returns the service name.
+func (s *Service[Req, Resp]) Name() string { return s.name }
+
+func (s *Service[Req, Resp]) serviceName() string { return s.name }
+
+// Calls returns how many calls the service has received.
+func (s *Service[Req, Resp]) Calls() int { return s.calls }
+
+// Call invokes the service handler synchronously. A handler panic is
+// recovered by the master (restarting the node) and surfaces as
+// ErrServiceCrashed.
+func (s *Service[Req, Resp]) Call(req Req) (Resp, error) {
+	s.calls++
+	var resp Resp
+	var err error
+	ok := s.node.guard("service "+s.name, func() {
+		resp, err = s.handler(req)
+	})
+	if !ok {
+		var zero Resp
+		return zero, ErrServiceCrashed
+	}
+	return resp, err
+}

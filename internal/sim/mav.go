@@ -1,0 +1,145 @@
+// Package sim provides the closed-loop micro-aerial-vehicle simulator that
+// substitutes for AirSim in the MAVFI reproduction: point-mass flight
+// dynamics with velocity/acceleration limits, a low-level flight-controller
+// model, IMU and RGB-D depth-camera sensor models, and a battery/energy
+// model. The PPC pipeline consumes sensor output and produces velocity
+// flight commands, exactly like the companion computer in the paper's
+// hardware-in-the-loop setup.
+package sim
+
+import (
+	"math"
+
+	"mavfi/internal/env"
+	"mavfi/internal/geom"
+)
+
+// State is the MAV's kinematic state at simulated time T.
+type State struct {
+	T   float64   // mission time, seconds
+	Pos geom.Vec3 // metres, world frame
+	Vel geom.Vec3 // metres/second
+	Acc geom.Vec3 // metres/second², as applied during the last step
+	Yaw float64   // radians
+}
+
+// VelocityCmd is the flight command the control stage issues: a desired
+// world-frame velocity plus a yaw setpoint. This matches the command
+// interface MAVBench's path tracker uses toward the flight controller.
+type VelocityCmd struct {
+	Vel geom.Vec3
+	Yaw float64
+}
+
+// Params bound the vehicle's physical capability.
+type Params struct {
+	MaxSpeed   float64 // m/s, per-axis-combined speed limit
+	MaxAccel   float64 // m/s², acceleration limit the flight controller enforces
+	MaxYawRate float64 // rad/s
+	Radius     float64 // collision radius of the airframe, metres
+}
+
+// DefaultParams returns the AirSim-like quadrotor defaults used throughout
+// the experiments.
+func DefaultParams() Params {
+	return Params{MaxSpeed: 8, MaxAccel: 4, MaxYawRate: 1.5, Radius: 0.4}
+}
+
+// MAV is the simulated vehicle: dynamics plus crash bookkeeping.
+type MAV struct {
+	World  *env.World
+	Params Params
+
+	st      State
+	wind    geom.Vec3
+	crashed bool
+	crashAt geom.Vec3
+	dist    float64 // path length flown, metres
+}
+
+// NewMAV places a vehicle at the world's start position on the ground,
+// facing the goal.
+func NewMAV(w *env.World, p Params) *MAV {
+	m := &MAV{World: w, Params: p}
+	m.st.Pos = w.Start
+	m.st.Yaw = w.Goal.Sub(w.Start).Yaw()
+	return m
+}
+
+// State returns the current kinematic state.
+func (m *MAV) State() State { return m.st }
+
+// SetWind sets the ambient wind velocity the vehicle drifts with. The
+// controller sees the drift only through position feedback, like a real
+// quadrotor.
+func (m *MAV) SetWind(w geom.Vec3) { m.wind = w }
+
+// Crashed reports whether the vehicle has collided with an obstacle, the
+// ground, or the volume boundary.
+func (m *MAV) Crashed() bool { return m.crashed }
+
+// CrashPos returns where the crash happened; zero if not crashed.
+func (m *MAV) CrashPos() geom.Vec3 { return m.crashAt }
+
+// DistanceFlown returns the accumulated path length in metres.
+func (m *MAV) DistanceFlown() float64 { return m.dist }
+
+// Step advances the dynamics by dt seconds under cmd. The flight controller
+// accelerates toward the commanded velocity within MaxAccel, limits speed to
+// MaxSpeed, and slews yaw at MaxYawRate. Non-finite commands (possible under
+// fault injection) are treated as zero velocity: the low-level controller
+// rejects NaN setpoints, as real autopilots do.
+func (m *MAV) Step(cmd VelocityCmd, dt float64) {
+	if m.crashed || dt <= 0 {
+		return
+	}
+	want := cmd.Vel
+	if !want.IsFinite() {
+		want = geom.Vec3{}
+	}
+	want = want.ClampLen(m.Params.MaxSpeed)
+
+	// Acceleration toward the commanded velocity, saturated.
+	acc := want.Sub(m.st.Vel).Scale(1 / dt).ClampLen(m.Params.MaxAccel)
+	newVel := m.st.Vel.Add(acc.Scale(dt)).ClampLen(m.Params.MaxSpeed)
+	newPos := m.st.Pos.Add(m.st.Vel.Add(newVel).Scale(0.5 * dt)) // trapezoidal
+	newPos = newPos.Add(m.wind.Scale(dt))                        // ambient drift
+
+	// Keep take-off simple: never integrate below the ground plane while
+	// commanded upward.
+	if newPos.Z < 0 {
+		newPos.Z = 0
+		if newVel.Z < 0 {
+			newVel.Z = 0
+		}
+	}
+
+	yawTarget := cmd.Yaw
+	if math.IsNaN(yawTarget) || math.IsInf(yawTarget, 0) {
+		yawTarget = m.st.Yaw
+	}
+	dyaw := geom.AngleDiff(yawTarget, m.st.Yaw)
+	maxD := m.Params.MaxYawRate * dt
+	dyaw = geom.Clampf(dyaw, -maxD, maxD)
+
+	m.dist += m.st.Pos.Dist(newPos)
+	m.st = State{
+		T:   m.st.T + dt,
+		Pos: newPos,
+		Vel: newVel,
+		Acc: acc,
+		Yaw: geom.WrapAngle(m.st.Yaw + dyaw),
+	}
+
+	// Collision check: body contact with obstacles, the ground, or the
+	// volume boundary is a crash.
+	if m.World.Collides(m.st.Pos, m.Params.Radius) {
+		m.crashed = true
+		m.crashAt = m.st.Pos
+	}
+}
+
+// AtGoal reports whether the vehicle is within the mission goal tolerance.
+func (m *MAV) AtGoal() bool {
+	return m.st.Pos.Dist(m.World.Goal) <= m.World.GoalTolerance
+}

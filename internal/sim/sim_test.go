@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/env"
+	"mavfi/internal/geom"
+)
+
+func openWorld() *env.World {
+	return &env.World{
+		Name:          "open",
+		Bounds:        geom.Box(geom.V(0, 0, 0), geom.V(100, 100, 50)),
+		Start:         geom.V(10, 10, 0),
+		Goal:          geom.V(90, 90, 2),
+		GoalTolerance: 1.5,
+	}
+}
+
+func TestMAVTakeoffAndSpeedLimit(t *testing.T) {
+	m := NewMAV(openWorld(), DefaultParams())
+	for i := 0; i < 30; i++ {
+		m.Step(VelocityCmd{Vel: geom.V(0, 0, 99)}, 0.1)
+	}
+	if m.Crashed() {
+		t.Fatalf("crashed during climb at %v", m.CrashPos())
+	}
+	st := m.State()
+	if st.Pos.Z <= 0 {
+		t.Error("did not climb")
+	}
+	if st.Vel.Len() > m.Params.MaxSpeed+1e-9 {
+		t.Errorf("speed %v exceeds limit %v", st.Vel.Len(), m.Params.MaxSpeed)
+	}
+}
+
+func TestMAVAccelLimit(t *testing.T) {
+	p := DefaultParams()
+	m := NewMAV(openWorld(), p)
+	m.Step(VelocityCmd{Vel: geom.V(8, 0, 0)}, 0.1)
+	v := m.State().Vel.Len()
+	if v > p.MaxAccel*0.1+1e-9 {
+		t.Errorf("after one tick speed %v exceeds a*dt=%v", v, p.MaxAccel*0.1)
+	}
+}
+
+func TestMAVNaNCommandRejected(t *testing.T) {
+	m := NewMAV(openWorld(), DefaultParams())
+	m.Step(VelocityCmd{Vel: geom.V(math.NaN(), 1, 1), Yaw: math.NaN()}, 0.1)
+	st := m.State()
+	if !st.Pos.IsFinite() || math.IsNaN(st.Yaw) {
+		t.Errorf("NaN leaked into state: %+v", st)
+	}
+	if m.Crashed() {
+		t.Error("NaN command crashed the vehicle")
+	}
+}
+
+func TestMAVCrashOnObstacle(t *testing.T) {
+	w := openWorld()
+	w.Obstacles = []geom.AABB{geom.Box(geom.V(15, 5, 0), geom.V(17, 15, 30))}
+	m := NewMAV(w, DefaultParams())
+	// Climb, then fly straight into the wall.
+	for i := 0; i < 30; i++ {
+		m.Step(VelocityCmd{Vel: geom.V(0, 0, 2)}, 0.1)
+	}
+	for i := 0; i < 200 && !m.Crashed(); i++ {
+		m.Step(VelocityCmd{Vel: geom.V(5, 0, 0)}, 0.1)
+	}
+	if !m.Crashed() {
+		t.Fatal("flew through a wall")
+	}
+	if m.CrashPos().X < 14 {
+		t.Errorf("crash position %v implausible", m.CrashPos())
+	}
+	// After a crash the vehicle stays put.
+	pos := m.State().Pos
+	m.Step(VelocityCmd{Vel: geom.V(1, 0, 0)}, 0.1)
+	if m.State().Pos != pos {
+		t.Error("crashed vehicle moved")
+	}
+}
+
+func TestMAVYawSlew(t *testing.T) {
+	p := DefaultParams()
+	m := NewMAV(openWorld(), p)
+	start := m.State().Yaw
+	m.Step(VelocityCmd{Vel: geom.Vec3{}, Yaw: start + 3}, 0.1)
+	dy := math.Abs(geom.AngleDiff(m.State().Yaw, start))
+	if dy > p.MaxYawRate*0.1+1e-9 {
+		t.Errorf("yaw slewed %v in one tick, limit %v", dy, p.MaxYawRate*0.1)
+	}
+}
+
+func TestMAVWindDrift(t *testing.T) {
+	m := NewMAV(openWorld(), DefaultParams())
+	// Hover command with a steady wind: the vehicle drifts.
+	m.SetWind(geom.V(1, 0, 0))
+	for i := 0; i < 30; i++ {
+		m.Step(VelocityCmd{Vel: geom.V(0, 0, 1)}, 0.1)
+	}
+	if m.State().Pos.X <= m.World.Start.X {
+		t.Error("no wind drift observed")
+	}
+}
+
+func TestMAVDistanceAndGoal(t *testing.T) {
+	w := openWorld()
+	m := NewMAV(w, DefaultParams())
+	if m.AtGoal() {
+		t.Error("at goal at start")
+	}
+	for i := 0; i < 50; i++ {
+		m.Step(VelocityCmd{Vel: geom.V(2, 0, 1)}, 0.1)
+	}
+	if m.DistanceFlown() <= 0 {
+		t.Error("no distance accumulated")
+	}
+}
+
+func TestDepthCameraGeometry(t *testing.T) {
+	w := openWorld()
+	w.Obstacles = []geom.AABB{geom.Box(geom.V(20, 0, 0), geom.V(22, 100, 30))}
+	cam := DefaultDepthCamera()
+	cam.NoiseStd = 0
+	img := cam.Capture(w, geom.V(10, 50, 5), 0, nil) // facing +x
+	// The centre-ish pixel looks straight at the wall 10 m away.
+	centre := img.At(img.Rows/2, img.Cols/2)
+	if centre > 11.5 || centre < 9.5 {
+		t.Errorf("centre depth = %v, want ≈10", centre)
+	}
+	// Rays pointing up-range (top rows, elevated) either clear max range
+	// or exceed the straight-line distance.
+	top := img.At(0, img.Cols/2)
+	if top < centre {
+		t.Errorf("elevated ray shorter than level ray: %v < %v", top, centre)
+	}
+	// Ray directions are unit length.
+	for r := 0; r < img.Rows; r += 5 {
+		for c := 0; c < img.Cols; c += 7 {
+			if l := img.Ray(r, c).Len(); math.Abs(l-1) > 1e-9 {
+				t.Fatalf("ray (%d,%d) length %v", r, c, l)
+			}
+		}
+	}
+}
+
+func TestDepthCameraNoiseBounded(t *testing.T) {
+	w := openWorld()
+	w.Obstacles = []geom.AABB{geom.Box(geom.V(20, 0, 0), geom.V(22, 100, 30))}
+	cam := DefaultDepthCamera()
+	rng := rand.New(rand.NewSource(1))
+	img := cam.Capture(w, geom.V(10, 50, 5), 0, rng)
+	for i, d := range img.Depth {
+		if d < 0 || d > cam.MaxRange {
+			t.Fatalf("depth[%d] = %v out of [0, %v]", i, d, cam.MaxRange)
+		}
+	}
+}
+
+func TestIMURead(t *testing.T) {
+	u := DefaultIMU()
+	st := State{T: 1, Pos: geom.V(1, 2, 3), Vel: geom.V(0.5, 0, 0), Yaw: 0.2}
+	r := u.Read(st, nil) // noise-free
+	if r.Pos != st.Pos || r.Vel != st.Vel || r.Yaw != st.Yaw {
+		t.Errorf("noise-free read differs: %+v", r)
+	}
+	// Gyro from successive yaw readings.
+	st2 := State{T: 1.1, Yaw: 0.3}
+	r2 := u.Read(st2, nil)
+	if math.Abs(r2.Gyro-1.0) > 1e-6 {
+		t.Errorf("gyro = %v, want 1.0 rad/s", r2.Gyro)
+	}
+}
+
+func TestBattery(t *testing.T) {
+	b := NewBattery(100)
+	if !b.Drain(50, 1) { // 50 J used
+		t.Error("drain with charge left reported empty")
+	}
+	if b.Remaining() != 50 {
+		t.Errorf("Remaining = %v", b.Remaining())
+	}
+	if b.Drain(100, 1) { // 150 J total > 100
+		t.Error("over-drained battery reported charged")
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining after exhaustion = %v", b.Remaining())
+	}
+	// Unlimited battery.
+	u := NewBattery(0)
+	if !u.Drain(1e9, 1e9) {
+		t.Error("unlimited battery exhausted")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	p := DefaultPowerModel()
+	hover := p.Power(geom.Vec3{})
+	cruise := p.Power(geom.V(8, 0, 0))
+	if hover <= 0 || cruise <= hover {
+		t.Errorf("hover=%v cruise=%v", hover, cruise)
+	}
+	if got := p.Power(geom.V(3, 4, 0)); math.Abs(got-(p.HoverW+p.DragK*25+p.ComputeW)) > 1e-9 {
+		t.Errorf("power = %v", got)
+	}
+}

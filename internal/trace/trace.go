@@ -1,0 +1,102 @@
+// Package trace records flight trajectories for the paper's Fig. 7
+// trajectory-analysis visualisations and exports them as CSV.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mavfi/internal/geom"
+)
+
+// Sample is one trajectory point.
+type Sample struct {
+	T   float64
+	Pos geom.Vec3
+	Vel geom.Vec3
+	Yaw float64
+	// Event tags notable ticks: "inject", "alarm", "replan", "crash".
+	Event string
+}
+
+// Trace is one mission's recorded trajectory.
+type Trace struct {
+	Label   string
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (t *Trace) Add(s Sample) { t.Samples = append(t.Samples, s) }
+
+// MarkEvent tags the most recent sample with an event (appending when the
+// sample already carries one).
+func (t *Trace) MarkEvent(ev string) {
+	if len(t.Samples) == 0 {
+		return
+	}
+	s := &t.Samples[len(t.Samples)-1]
+	if s.Event == "" {
+		s.Event = ev
+	} else if !strings.Contains(s.Event, ev) {
+		s.Event += "+" + ev
+	}
+}
+
+// PathLength returns the flown path length in metres.
+func (t *Trace) PathLength() float64 {
+	total := 0.0
+	for i := 1; i < len(t.Samples); i++ {
+		total += t.Samples[i].Pos.Dist(t.Samples[i-1].Pos)
+	}
+	return total
+}
+
+// Detour compares this trace's path length against a reference trace and
+// returns the excess fraction (0.25 = 25% longer).
+func (t *Trace) Detour(ref *Trace) float64 {
+	rl := ref.PathLength()
+	if rl <= 0 {
+		return 0
+	}
+	return t.PathLength()/rl - 1
+}
+
+// Events returns the tagged samples in order.
+func (t *Trace) Events() []Sample {
+	var out []Sample
+	for _, s := range t.Samples {
+		if s.Event != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits the trace as CSV with a label column so multiple traces
+// (golden / FI / FI+D&R) can share one file for plotting.
+func (t *Trace) WriteCSV(w io.Writer, header bool) error {
+	if header {
+		if _, err := fmt.Fprintln(w, "label,t,x,y,z,vx,vy,vz,yaw,event"); err != nil {
+			return err
+		}
+	}
+	for _, s := range t.Samples {
+		_, err := fmt.Fprintf(w, "%s,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%s\n",
+			t.Label, s.T, s.Pos.X, s.Pos.Y, s.Pos.Z, s.Vel.X, s.Vel.Y, s.Vel.Z, s.Yaw, s.Event)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAllCSV writes several traces into one CSV stream.
+func WriteAllCSV(w io.Writer, traces ...*Trace) error {
+	for i, tr := range traces {
+		if err := tr.WriteCSV(w, i == 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

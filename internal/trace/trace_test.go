@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+func lineTrace() *Trace {
+	tr := &Trace{Label: "test"}
+	for i := 0; i <= 10; i++ {
+		tr.Add(Sample{T: float64(i) * 0.1, Pos: geom.V(float64(i), 0, 2)})
+	}
+	return tr
+}
+
+func TestPathLength(t *testing.T) {
+	tr := lineTrace()
+	if got := tr.PathLength(); got != 10 {
+		t.Errorf("PathLength = %v", got)
+	}
+	if (&Trace{}).PathLength() != 0 {
+		t.Error("empty trace length")
+	}
+}
+
+func TestDetour(t *testing.T) {
+	ref := lineTrace()
+	longer := &Trace{}
+	for i := 0; i <= 10; i++ {
+		longer.Add(Sample{Pos: geom.V(float64(i), float64(i%2), 2)}) // zigzag
+	}
+	d := longer.Detour(ref)
+	if d <= 0 {
+		t.Errorf("zigzag detour = %v, want > 0", d)
+	}
+	if ref.Detour(ref) != 0 {
+		t.Error("self detour not 0")
+	}
+	if ref.Detour(&Trace{}) != 0 {
+		t.Error("detour vs empty reference not 0")
+	}
+}
+
+func TestEvents(t *testing.T) {
+	tr := lineTrace()
+	tr.MarkEvent("inject")
+	tr.MarkEvent("alarm") // second tag on the same sample appends
+	tr.MarkEvent("alarm") // duplicate tag ignored
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Event != "inject+alarm" {
+		t.Errorf("event tag = %q", evs[0].Event)
+	}
+	// MarkEvent on an empty trace is a no-op.
+	(&Trace{}).MarkEvent("x")
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := lineTrace()
+	tr.MarkEvent("crash")
+	var b strings.Builder
+	if err := tr.WriteCSV(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 12 { // header + 11 samples
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "label,t,x,y,z") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "test,0.00,0.000") {
+		t.Errorf("first row = %q", lines[1])
+	}
+	if !strings.Contains(lines[11], "crash") {
+		t.Errorf("last row missing event: %q", lines[11])
+	}
+}
+
+func TestWriteAllCSV(t *testing.T) {
+	a, b := lineTrace(), lineTrace()
+	a.Label, b.Label = "golden", "fault"
+	var sb strings.Builder
+	if err := WriteAllCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "label,t,") != 1 {
+		t.Error("header repeated")
+	}
+	if !strings.Contains(out, "golden,") || !strings.Contains(out, "fault,") {
+		t.Error("labels missing")
+	}
+}
