@@ -1,0 +1,38 @@
+# Make targets mirror .github/workflows/ci.yml exactly, so local runs and CI
+# cannot drift: CI jobs invoke these same targets.
+
+GO ?= go
+
+.PHONY: build vet fmt fmt-check test test-full test-race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt rewrites; fmt-check (used by CI) only verifies.
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# test is the CI test job: reduced campaign scales via testing.Short().
+test:
+	$(GO) test -short ./...
+
+# test-full runs the full-fidelity campaigns (what the seed suite ran).
+test-full:
+	$(GO) test ./...
+
+# test-race doubles as the proof that the parallel campaign engine is
+# data-race-free.
+test-race:
+	$(GO) test -race -short ./...
+
+# bench regenerates every paper table/figure headline metric plus the
+# campaign-engine scaling curve. Scale campaigns with MAVFI_BENCH_RUNS.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -11,10 +11,13 @@
 package main_test
 
 import (
+	"context"
+	"fmt"
 	"os"
 	"strconv"
 	"testing"
 
+	"mavfi/internal/campaign"
 	"mavfi/internal/experiments"
 	"mavfi/internal/pipeline"
 	"mavfi/internal/qof"
@@ -46,6 +49,33 @@ func BenchmarkMission(b *testing.B) {
 		if res.Outcome != qof.Success && res.Outcome != qof.Crash && res.Outcome != qof.Timeout {
 			b.Fatal("implausible outcome")
 		}
+	}
+}
+
+// BenchmarkCampaignRunnerScaling runs one fixed golden campaign through the
+// parallel engine at increasing worker counts. On an N-core host the
+// per-iteration time should fall roughly N-fold from workers=1 to
+// workers=N; the reported success rate is identical at every width
+// (bit-identical results are the engine's core guarantee).
+func BenchmarkCampaignRunnerScaling(b *testing.B) {
+	o := benchOpts()
+	ctx := experiments.NewContext(o)
+	w := ctx.World("Sparse")
+	n := 2 * o.Runs
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			r := campaign.New(campaign.WithWorkers(workers))
+			for i := 0; i < b.N; i++ {
+				out, err := r.Run(context.Background(), "scaling", n, func(j int) qof.Metrics {
+					seed := campaign.MissionSeed(1, j)
+					return pipeline.RunMission(pipeline.Config{World: w, Seed: seed}).Metrics
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(out.Campaign.SuccessRate()*100, "success%")
+			}
+		})
 	}
 }
 

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -26,6 +28,7 @@ func main() {
 		runs    = flag.Int("runs", 100, "missions per campaign cell (paper: 100)")
 		train   = flag.Int("train", 100, "error-free training environments (paper: ~100)")
 		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", 0, "campaign worker goroutines (0 = MAVFI_WORKERS, else GOMAXPROCS)")
 		fig7csv = flag.String("fig7csv", "", "write Fig. 7 trajectories as CSV to this path prefix")
 	)
 	flag.Parse()
@@ -34,7 +37,14 @@ func main() {
 	opts.Runs = *runs
 	opts.TrainEnvs = *train
 	opts.Seed = *seed
+	opts.Workers = *workers
 	ctx := experiments.NewContext(opts)
+
+	// Campaigns are interruptible: Ctrl-C stops scheduling new missions and
+	// the partial results are flagged below.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx.SetContext(sigCtx)
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	start := time.Now()
@@ -86,5 +96,9 @@ func main() {
 		fmt.Print(ctx.AblationRecovery())
 	}
 
+	if ctx.Interrupted() {
+		fmt.Fprintln(os.Stderr, "interrupted: campaigns above are partial")
+		os.Exit(1)
+	}
 	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
 }

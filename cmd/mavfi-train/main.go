@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"mavfi/internal/campaign"
 	"mavfi/internal/detect"
 	"mavfi/internal/pipeline"
 	"mavfi/internal/platform"
@@ -26,11 +28,17 @@ func main() {
 		epochs  = flag.Int("epochs", 30, "AAD training epochs")
 		gadPath = flag.String("gad", "gad.json", "output path for the Gaussian model")
 		aadPath = flag.String("aad", "aad.json", "output path for the autoencoder model")
+		workers = flag.Int("workers", 0, "collection worker goroutines (0 = MAVFI_WORKERS, else GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	fmt.Printf("collecting training data from %d environments...\n", *envs)
-	data := pipeline.CollectTrainingData(*envs, *seed, platform.I9())
+	runner := campaign.New(campaign.WithWorkers(*workers))
+	data, err := pipeline.CollectTrainingDataOn(context.Background(), runner, *envs, *seed, platform.I9())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "collection interrupted:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("  %d samples\n", len(data))
 
 	gad := pipeline.TrainGAD(data, *sigma)

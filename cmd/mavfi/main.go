@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
+	"mavfi/internal/campaign"
 	"mavfi/internal/detect"
 	"mavfi/internal/env"
 	"mavfi/internal/faultinject"
@@ -50,6 +52,7 @@ func main() {
 		runs     = flag.Int("runs", 100, "fault-injection missions")
 		train    = flag.Int("train", 50, "training environments when a detector is enabled")
 		seed     = flag.Int64("seed", 1, "campaign seed")
+		workers  = flag.Int("workers", 0, "campaign worker goroutines (0 = MAVFI_WORKERS, else GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -74,18 +77,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	runner := campaign.New(campaign.WithWorkers(*workers))
+	ctx := context.Background()
+
 	var det func() detect.Detector
 	switch *detector {
 	case "none":
 	case "gad", "aad":
 		fmt.Printf("training detectors on %d environments...\n", *train)
-		data := pipeline.CollectTrainingData(*train, *seed+1000, platform.I9())
+		data, err := pipeline.CollectTrainingDataOn(ctx, runner, *train, *seed+1000, platform.I9())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "collection interrupted:", err)
+			os.Exit(1)
+		}
 		if *detector == "gad" {
 			gad := pipeline.TrainGAD(data, 4)
-			det = func() detect.Detector { g := *gad; return &g }
+			det = func() detect.Detector { return gad.Clone() }
 		} else {
 			aad := pipeline.TrainAAD(data, detect.DefaultAADConfig(), *seed+2000)
-			det = func() detect.Detector { return aad }
+			det = func() detect.Detector { return aad.Clone() }
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown detector %q\n", *detector)
@@ -93,21 +103,20 @@ func main() {
 	}
 
 	// Golden baseline.
-	golden := &qof.Campaign{Name: "golden"}
-	for i := 0; i < *runs; i++ {
-		res := pipeline.RunMission(pipeline.Config{World: world, Seed: *seed + int64(i)})
-		golden.Add(res.Metrics)
-	}
+	goldenOut, _ := runner.Run(ctx, "golden", *runs, func(i int) qof.Metrics {
+		return pipeline.RunMission(pipeline.Config{World: world, Seed: *seed + int64(i)}).Metrics
+	})
+	golden := goldenOut.Campaign
 
-	// Injection campaign.
+	// Injection campaign: draw the whole plan schedule up front (the plan
+	// RNG is consumed sequentially), then shard the missions.
 	ctr := faultinject.NewCounter()
 	pipeline.RunMission(pipeline.Config{World: world, Seed: *seed + 555, Counter: ctr})
 	planRNG := rand.New(rand.NewSource(*seed + 42))
 	nominal := pipeline.NominalDuration(pipeline.Config{World: world})
 
-	camp := &qof.Campaign{Name: "injection"}
-	injected := 0
-	for i := 0; i < *runs; i++ {
+	cfgs := make([]pipeline.Config, *runs)
+	for i := range cfgs {
 		cfg := pipeline.Config{World: world, Seed: *seed + int64(i)}
 		if *kernel != "" {
 			k, ok := kernelNames[*kernel]
@@ -126,14 +135,26 @@ func main() {
 			plan := faultinject.NewStatePlan(s, nominal*0.15, nominal*0.85, planRNG)
 			cfg.StateFault = &plan
 		}
+		cfgs[i] = cfg
+	}
+
+	camp := &qof.Campaign{Name: "injection"}
+	fired := make([]bool, *runs)
+	results := make([]qof.Metrics, *runs)
+	runner.ForEach(ctx, *runs, func(i int) {
+		cfg := cfgs[i]
 		if det != nil {
 			cfg.Detector = det()
 		}
 		res := pipeline.RunMission(cfg)
-		if res.Injected {
+		results[i], fired[i] = res.Metrics, res.Injected
+	})
+	injected := 0
+	for i := range results {
+		camp.Add(results[i])
+		if fired[i] {
 			injected++
 		}
-		camp.Add(res.Metrics)
 	}
 
 	report("golden    ", golden)

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"mavfi/internal/campaign"
 	"mavfi/internal/env"
 	"mavfi/internal/faultinject"
 	"mavfi/internal/pipeline"
@@ -19,13 +21,16 @@ import (
 func main() {
 	world := env.Sparse(rand.New(rand.NewSource(7)))
 	const runs = 30
+	runner := campaign.New() // GOMAXPROCS workers, or MAVFI_WORKERS
+	ctx := context.Background()
 
-	// Golden baseline.
-	golden := &qof.Campaign{Name: "golden"}
-	for i := 0; i < runs; i++ {
-		res := pipeline.RunMission(pipeline.Config{World: world, Seed: int64(i)})
-		golden.Add(res.Metrics)
-	}
+	// Golden baseline, sharded across the worker pool. Results are
+	// bit-identical for any worker count: each mission depends only on its
+	// index, and the campaign is assembled in mission order.
+	goldenOut, _ := runner.Run(ctx, "golden", runs, func(i int) qof.Metrics {
+		return pipeline.RunMission(pipeline.Config{World: world, Seed: int64(i)}).Metrics
+	})
+	golden := goldenOut.Campaign
 
 	// Calibrate the PID kernel's dynamic value count on one golden run so
 	// injections target a uniformly random live value.
@@ -33,21 +38,26 @@ func main() {
 	pipeline.RunMission(pipeline.Config{World: world, Seed: 999, Counter: ctr})
 
 	// Injection campaign: one single-bit flip inside the PID kernel per
-	// mission.
+	// mission. The plans are drawn up front (sequential RNG consumption),
+	// then the missions fan out.
 	rng := rand.New(rand.NewSource(13))
-	injected := &qof.Campaign{Name: "PID faults"}
-	worstBit := uint(0)
-	worstTime := 0.0
-	for i := 0; i < runs; i++ {
-		plan := faultinject.NewPlan(faultinject.KernelPID, ctr.Count(faultinject.KernelPID), rng)
-		res := pipeline.RunMission(pipeline.Config{
+	plans := make([]faultinject.Plan, runs)
+	for i := range plans {
+		plans[i] = faultinject.NewPlan(faultinject.KernelPID, ctr.Count(faultinject.KernelPID), rng)
+	}
+	injOut, _ := runner.Run(ctx, "PID faults", runs, func(i int) qof.Metrics {
+		return pipeline.RunMission(pipeline.Config{
 			World:       world,
 			Seed:        int64(i),
-			KernelFault: &plan,
-		})
-		injected.Add(res.Metrics)
-		if res.FlightTimeS > worstTime {
-			worstTime, worstBit = res.FlightTimeS, plan.Bit
+			KernelFault: &plans[i],
+		}).Metrics
+	})
+	injected := injOut.Campaign
+	worstBit := uint(0)
+	worstTime := 0.0
+	for i, m := range injected.Results {
+		if m.FlightTimeS > worstTime {
+			worstTime, worstBit = m.FlightTimeS, plans[i].Bit
 		}
 	}
 

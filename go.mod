@@ -1,0 +1,3 @@
+module mavfi
+
+go 1.24

@@ -1,0 +1,208 @@
+// Package campaign is the parallel fault-injection campaign engine: it
+// shards the N independent missions of a campaign across a worker pool and
+// aggregates their quality-of-flight metrics.
+//
+// Missions are embarrassingly parallel — each is a pure function of its
+// mission index — so the engine guarantees bit-identical campaign results
+// regardless of worker count: every mission's inputs derive only from
+// (campaign seed, mission index), each worker writes its result to the
+// mission's own slot, and the final qof.Campaign is assembled in mission
+// order. Per-worker statistics accumulate lock-free into worker-local
+// stats.Welford states that are combined with Welford.Merge (Chan et al.)
+// after the pool drains.
+package campaign
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"mavfi/internal/qof"
+	"mavfi/internal/stats"
+)
+
+// EnvWorkers is the environment variable that overrides the default worker
+// count (a positive integer).
+const EnvWorkers = "MAVFI_WORKERS"
+
+// DefaultWorkers resolves the default pool size: MAVFI_WORKERS when set to a
+// positive integer, otherwise GOMAXPROCS.
+func DefaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runner executes campaigns on a fixed-size worker pool. The zero value is
+// not ready; use New.
+type Runner struct {
+	workers  int
+	progress func(done, total int)
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers sets the pool size. Values below 1 keep the default
+// (MAVFI_WORKERS, else GOMAXPROCS), so call sites can pass a zero
+// "automatic" knob straight through.
+func WithWorkers(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.workers = n
+		}
+	}
+}
+
+// WithProgress installs a progress hook invoked after every completed
+// mission with the number of missions done so far and the campaign total.
+// The hook may be called concurrently from multiple workers.
+func WithProgress(fn func(done, total int)) Option {
+	return func(r *Runner) { r.progress = fn }
+}
+
+// New builds a Runner with DefaultWorkers workers unless overridden.
+func New(opts ...Option) *Runner {
+	r := &Runner{workers: DefaultWorkers()}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.workers < 1 {
+		r.workers = 1
+	}
+	return r
+}
+
+// Workers returns the configured pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// MissionSeed derives a deterministic RNG seed for mission i of a campaign
+// rooted at campaignSeed — a splitmix64-style avalanche of the pair, so
+// per-mission streams are decorrelated from each other and from the campaign
+// seed itself. The Runner does not impose a seeding scheme: call sites own
+// seed derivation (the experiments use the paper's campaignSeed+i so run i
+// stays paired across campaign cells); MissionSeed is the helper for new
+// campaigns that want decorrelated streams instead.
+func MissionSeed(campaignSeed int64, i int) int64 {
+	z := uint64(campaignSeed) + (uint64(i)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the worker pool. fn must
+// be safe for concurrent invocation and should write outputs only to
+// per-index (disjoint) storage; all writes are visible to the caller when
+// ForEach returns. When ctx is cancelled, workers stop claiming new indices
+// (missions already started run to completion) and ForEach returns ctx.Err.
+func (r *Runner) ForEach(ctx context.Context, n int, fn func(i int)) error {
+	return r.forEach(ctx, n, func(_, i int) { fn(i) })
+}
+
+// forEach is ForEach with the executing worker's id passed through, the
+// primitive Run uses for worker-local accumulators.
+func (r *Runner) forEach(ctx context.Context, n int, fn func(worker, i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+				if r.progress != nil {
+					r.progress(int(done.Add(1)), n)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Mission computes mission i of a campaign. It must be safe for concurrent
+// invocation and must depend only on i (and immutable captured state) so
+// campaign results stay independent of scheduling.
+type Mission func(i int) qof.Metrics
+
+// Outcome is one campaign's aggregate: the mission-ordered qof.Campaign plus
+// cheap online statistics over successful missions, accumulated per worker
+// and combined with stats.Welford.Merge.
+type Outcome struct {
+	// Campaign holds mission results in mission-index order; Results[i] is
+	// mission i. After a cancellation it is truncated to the longest
+	// contiguous prefix of completed missions, preserving that invariant.
+	Campaign *qof.Campaign
+	// FlightTime and EnergyJ summarise the Campaign's successful missions'
+	// flight seconds and energy joules (also after a cancellation, when
+	// the Campaign is a prefix). Their merge order follows worker ids, so
+	// they are equal across worker counts only up to floating-point
+	// reassociation; the Campaign itself is bit-identical.
+	FlightTime stats.Welford
+	EnergyJ    stats.Welford
+}
+
+// Run executes the n missions of one campaign across the pool and aggregates
+// them. On cancellation it returns the partial Outcome together with
+// ctx.Err(); the partial campaign covers the longest contiguous prefix of
+// completed missions.
+func (r *Runner) Run(ctx context.Context, name string, n int, mission Mission) (*Outcome, error) {
+	results := make([]qof.Metrics, n)
+	ran := make([]bool, n)
+	type shard struct {
+		flight, energy stats.Welford
+	}
+	shards := make([]shard, r.workers)
+	err := r.forEach(ctx, n, func(w, i int) {
+		m := mission(i)
+		results[i], ran[i] = m, true
+		if m.Succeeded() {
+			shards[w].flight.Add(m.FlightTimeS)
+			shards[w].energy.Add(m.EnergyJ)
+		}
+	})
+	out := &Outcome{Campaign: &qof.Campaign{Name: name}}
+	for i := range results {
+		if !ran[i] {
+			break
+		}
+		out.Campaign.Add(results[i])
+	}
+	if err != nil {
+		// Cancelled: shards may hold missions past the truncated prefix,
+		// so rebuild the online statistics from the campaign itself to
+		// keep the two views consistent.
+		for _, m := range out.Campaign.Results {
+			if m.Succeeded() {
+				out.FlightTime.Add(m.FlightTimeS)
+				out.EnergyJ.Add(m.EnergyJ)
+			}
+		}
+		return out, err
+	}
+	for w := range shards {
+		out.FlightTime.Merge(&shards[w].flight)
+		out.EnergyJ.Merge(&shards[w].energy)
+	}
+	return out, nil
+}

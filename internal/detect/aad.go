@@ -151,6 +151,15 @@ func (a *AAD) Train(data [][NumStates]float64, cfg AADConfig, rng *rand.Rand) {
 	a.trained = true
 }
 
+// Clone returns an inference clone: it shares the trained weights and
+// threshold but owns its forward-pass scratch, so parallel missions can each
+// carry a clone and Observe concurrently. Clones must not be retrained.
+func (a *AAD) Clone() *AAD {
+	c := *a
+	c.net = a.net.CloneForInference()
+	return &c
+}
+
 func (a *AAD) standardize(s [NumStates]float64, out []float64) {
 	for d := 0; d < NumStates; d++ {
 		out[d] = (s[d] - a.mean[d]) / a.std[d]

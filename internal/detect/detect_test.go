@@ -363,3 +363,43 @@ func TestDetectorNames(t *testing.T) {
 		t.Error("AAD name")
 	}
 }
+
+func TestAADCloneMatchesOriginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cfg := DefaultAADConfig()
+	cfg.Epochs = 5
+	aad := NewAAD(cfg, rng)
+	data := make([][NumStates]float64, 200)
+	for i := range data {
+		for d := 0; d < NumStates; d++ {
+			data[i][d] = rng.NormFloat64() * 0.1
+		}
+	}
+	aad.Train(data, cfg, rng)
+
+	clone := aad.Clone()
+	if !clone.Trained() || clone.Threshold != aad.Threshold {
+		t.Fatal("clone lost trained state")
+	}
+	var probe [NumStates]float64
+	for d := 0; d < NumStates; d++ {
+		probe[d] = rng.NormFloat64()
+	}
+	if co, ao := clone.ReconError(probe), aad.ReconError(probe); co != ao {
+		t.Errorf("clone recon error %v != original %v", co, ao)
+	}
+	// Clones observe concurrently without racing (checked under -race).
+	done := make(chan bool, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			c := aad.Clone()
+			for i := 0; i < 100; i++ {
+				c.Observe(float64(i), probe)
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

@@ -69,6 +69,14 @@ func NewGAD(nSigma float64) *GAD {
 	return &GAD{NSigma: nSigma, MinSamples: 25, Online: true, floors: defaultFloors()}
 }
 
+// Clone returns an independent copy of the detector. The Gaussian models
+// live in value arrays, so the clone's online updates never touch the
+// original — each parallel mission carries its own clone.
+func (g *GAD) Clone() *GAD {
+	c := *g
+	return &c
+}
+
 // inRange applies the n-sigma test with the state's σ floor.
 func (g *GAD) inRange(i int, cg *stats.Welford, x float64) bool {
 	floor := g.floors[i]

@@ -8,7 +8,6 @@ import (
 	"mavfi/internal/detect"
 	"mavfi/internal/faultinject"
 	"mavfi/internal/pipeline"
-	"mavfi/internal/qof"
 )
 
 // This file implements the ablations DESIGN.md commits to: the design
@@ -48,37 +47,15 @@ func (c *Context) ablationPlans() []faultinject.Plan {
 	w := c.World("Sparse")
 	ctr := c.calibrate(w, c.Platform)
 	rng := rand.New(rand.NewSource(c.Seed + 31337))
-	stages := []faultinject.Stage{
-		faultinject.StagePerception,
-		faultinject.StagePlanning,
-		faultinject.StageControl,
-	}
-	plans := make([]faultinject.Plan, 3*c.Runs)
-	for i := range plans {
-		kernels := stageKernels[stages[i/c.Runs]]
-		k := kernels[i%len(kernels)]
-		plans[i] = faultinject.NewPlan(k, ctr.Count(k), rng)
-	}
-	return plans
+	return c.stagePlans(ctr, rng)
 }
 
 // evalDetector runs the shared schedule under one detector configuration
-// plus a handful of golden runs for the false-positive rate.
+// plus a handful of golden runs for the false-positive rate. Both campaigns
+// shard across the worker pool; det() is invoked per mission on workers.
 func (c *Context) evalDetector(name string, plans []faultinject.Plan, det func() detect.Detector) AblationCell {
 	w := c.World("Sparse")
-	camp := &qof.Campaign{Name: name}
-	for i, plan := range plans {
-		p := plan
-		cfg := pipeline.Config{
-			World: w, Platform: c.Platform,
-			Seed:        c.Seed + int64(i%c.Runs),
-			KernelFault: &p,
-		}
-		if det != nil {
-			cfg.Detector = det()
-		}
-		camp.Add(pipeline.RunMission(cfg).Metrics)
-	}
+	camp := c.runInjected(name, w, c.Platform, plans, det)
 	cell := AblationCell{
 		Name:        name,
 		SuccessRate: camp.SuccessRate(),
@@ -89,13 +66,19 @@ func (c *Context) evalDetector(name string, plans []faultinject.Plan, det func()
 	if nGolden < 4 {
 		nGolden = 4
 	}
-	fps := 0
-	for i := 0; i < nGolden; i++ {
+	alarms := make([]int, nGolden)
+	if c.runner.ForEach(c.ctx, nGolden, func(i int) {
 		cfg := pipeline.Config{World: w, Platform: c.Platform, Seed: c.Seed + 9000 + int64(i)}
 		if det != nil {
 			cfg.Detector = det()
 		}
-		fps += pipeline.RunMission(cfg).Alarms
+		alarms[i] = pipeline.RunMission(cfg).Alarms
+	}) != nil {
+		c.interrupted.Store(true)
+	}
+	fps := 0
+	for _, a := range alarms {
+		fps += a
 	}
 	cell.GoldenFPs = float64(fps) / float64(nGolden)
 	return cell
@@ -107,10 +90,12 @@ func (c *Context) AblationSigma() *AblationResult {
 	plans := c.ablationPlans()
 	out := &AblationResult{Title: "GAD n-sigma threshold"}
 	for _, n := range []float64{2, 3, 4, 5, 6} {
-		sigma := n
+		// Train one detector per arm and hand each mission its own clone
+		// (training is deterministic, so this matches per-mission
+		// retraining at a fraction of the cost).
+		gad := pipeline.TrainGAD(c.TrainData(), n)
 		cell := c.evalDetector(fmt.Sprintf("n=%g", n), plans, func() detect.Detector {
-			g := pipeline.TrainGAD(c.TrainData(), sigma)
-			return g
+			return gad.Clone()
 		})
 		out.Cells = append(out.Cells, cell)
 	}
@@ -123,20 +108,21 @@ func (c *Context) AblationPreprocess() *AblationResult {
 	plans := c.ablationPlans()
 	out := &AblationResult{Title: "preprocessing: sign+exponent vs raw deltas (GAD)"}
 
+	signExp := pipeline.TrainGAD(c.TrainData(), c.GADSigma)
 	out.Cells = append(out.Cells,
 		c.evalDetector("sign+exp deltas", plans, func() detect.Detector {
-			return pipeline.TrainGAD(c.TrainData(), c.GADSigma)
+			return signExp.Clone()
 		}))
 
 	// Raw-value arm: train a GAD on raw deltas collected with a raw
 	// preprocessor. The pipeline's preprocessor is sign+exp, so the raw
 	// arm is approximated by widening σ floors to physical units; this
 	// measures the transform's contribution to separation.
+	raw := pipeline.TrainGAD(c.TrainData(), c.GADSigma)
+	raw.SigmaFloor = 0.5 * 16 // raw metres mapped into delta units
 	out.Cells = append(out.Cells,
 		c.evalDetector("raw deltas (σfloor=0.5m)", plans, func() detect.Detector {
-			g := pipeline.TrainGAD(c.TrainData(), c.GADSigma)
-			g.SigmaFloor = 0.5 * 16 // raw metres mapped into delta units
-			return g
+			return raw.Clone()
 		}))
 	return out
 }
@@ -152,7 +138,7 @@ func (c *Context) AblationBottleneck() *AblationResult {
 		aad := pipeline.TrainAAD(c.TrainData(), cfg, c.Seed+int64(bn)*17)
 		out.Cells = append(out.Cells, c.evalDetector(
 			fmt.Sprintf("bottleneck=%d", bn), plans,
-			func() detect.Detector { return aad }))
+			func() detect.Detector { return aad.Clone() }))
 	}
 	return out
 }

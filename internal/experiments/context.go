@@ -11,10 +11,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"mavfi/internal/campaign"
 	"mavfi/internal/detect"
 	"mavfi/internal/env"
 	"mavfi/internal/faultinject"
@@ -38,6 +42,10 @@ type Opts struct {
 	GADSigma float64
 	// AAD is the autoencoder architecture/training configuration.
 	AAD detect.AADConfig
+	// Workers caps the campaign worker pool; 0 selects the automatic
+	// default (MAVFI_WORKERS, else GOMAXPROCS). Campaign results are
+	// bit-identical for any worker count.
+	Workers int
 }
 
 // PaperOpts returns the paper-scale configuration: 100 runs per cell, 100
@@ -69,9 +77,16 @@ type Context struct {
 
 	Worlds []*env.World // Factory, Farm, Sparse, Dense (paper order)
 
+	trainOnce sync.Once
 	trainData [][detect.NumStates]float64
 	gad       *detect.GAD
 	aad       *detect.AAD
+
+	runner *campaign.Runner
+	ctx    context.Context
+	// interrupted is atomic: lazy detector training can be triggered (and
+	// cut short) from campaign worker goroutines.
+	interrupted atomic.Bool
 
 	tableICache map[string]*EnvCampaign
 }
@@ -88,9 +103,26 @@ func NewContext(o Opts) *Context {
 			env.Sparse(rng),
 			env.Dense(rng),
 		},
+		runner:      campaign.New(campaign.WithWorkers(o.Workers)),
+		ctx:         context.Background(),
 		tableICache: make(map[string]*EnvCampaign),
 	}
 }
+
+// SetContext installs a cancellation context: once it is cancelled, running
+// campaigns stop scheduling new missions and return partial results, and
+// Interrupted reports true.
+func (c *Context) SetContext(ctx context.Context) {
+	if ctx != nil {
+		c.ctx = ctx
+	}
+}
+
+// Interrupted reports whether any campaign (or the detector-training
+// collection) was cut short by a cancelled context; interrupted experiment
+// results cover only the missions that completed and should not be quoted as
+// full campaigns.
+func (c *Context) Interrupted() bool { return c.interrupted.Load() }
 
 // World returns the evaluation environment with the given name.
 func (c *Context) World(name string) *env.World {
@@ -103,29 +135,35 @@ func (c *Context) World(name string) *env.World {
 }
 
 // ensureTrained runs the training campaign once: error-free flights through
-// randomised environments, feeding both detectors.
+// randomised environments, feeding both detectors. Guarded by a sync.Once so
+// parallel campaign workers can trigger the lazy training safely.
 func (c *Context) ensureTrained() {
-	if c.gad != nil {
-		return
-	}
-	c.trainData = pipeline.CollectTrainingData(c.TrainEnvs, c.Seed+1000, c.Platform)
-	c.gad = pipeline.TrainGAD(c.trainData, c.GADSigma)
-	c.aad = pipeline.TrainAAD(c.trainData, c.AAD, c.Seed+2000)
+	c.trainOnce.Do(func() {
+		data, err := pipeline.CollectTrainingDataOn(c.ctx, c.runner, c.TrainEnvs, c.Seed+1000, c.Platform)
+		if err != nil {
+			// Cancelled mid-collection: the detectors below are fit on a
+			// partial corpus, which Interrupted flags as unusable output.
+			c.interrupted.Store(true)
+		}
+		c.trainData = data
+		c.gad = pipeline.TrainGAD(c.trainData, c.GADSigma)
+		c.aad = pipeline.TrainAAD(c.trainData, c.AAD, c.Seed+2000)
+	})
 }
 
 // GADetector returns a fresh per-mission clone of the trained Gaussian
 // detector (clones keep online updates independent across missions).
 func (c *Context) GADetector() *detect.GAD {
 	c.ensureTrained()
-	clone := *c.gad
-	return &clone
+	return c.gad.Clone()
 }
 
-// AADetector returns the trained autoencoder detector (stateless at
-// inference, safe to share).
+// AADetector returns a per-mission inference clone of the trained
+// autoencoder detector (clones share the trained weights but own their
+// forward scratch, so parallel missions do not race).
 func (c *Context) AADetector() *detect.AAD {
 	c.ensureTrained()
-	return c.aad
+	return c.aad.Clone()
 }
 
 // TrainData exposes the training corpus for the ablation experiments.
@@ -159,15 +197,61 @@ var stageKernels = map[faultinject.Stage][]faultinject.Kernel{
 	faultinject.StageControl:  {faultinject.KernelPID},
 }
 
-// runCell flies Runs missions of one campaign cell and aggregates them.
-// makeCfg customises the mission for run i.
+// runCell flies Runs missions of one campaign cell across the worker pool
+// and aggregates them in mission order. makeCfg(i) must depend only on i
+// (and immutable captured state): it is invoked concurrently, and results
+// must stay bit-identical for any worker count.
 func (c *Context) runCell(name string, makeCfg func(i int) pipeline.Config) *qof.Campaign {
-	camp := &qof.Campaign{Name: name}
-	for i := 0; i < c.Runs; i++ {
-		res := pipeline.RunMission(makeCfg(i))
-		camp.Add(res.Metrics)
+	return c.runN(name, c.Runs, makeCfg)
+}
+
+// runN is runCell with an explicit mission count.
+func (c *Context) runN(name string, n int, makeCfg func(i int) pipeline.Config) *qof.Campaign {
+	out, err := c.runner.Run(c.ctx, name, n, func(i int) qof.Metrics {
+		return pipeline.RunMission(makeCfg(i)).Metrics
+	})
+	if err != nil {
+		c.interrupted.Store(true)
 	}
-	return camp
+	return out.Campaign
+}
+
+// stagePlans draws a shared injection schedule: Runs plans per PPC stage,
+// spread across the stage's kernels. The plans are drawn sequentially from
+// rng up front so the schedule does not depend on mission scheduling, and
+// campaigns that replay the same schedule stay a paired comparison.
+func (c *Context) stagePlans(ctr *faultinject.Counter, rng *rand.Rand) []faultinject.Plan {
+	stages := []faultinject.Stage{
+		faultinject.StagePerception,
+		faultinject.StagePlanning,
+		faultinject.StageControl,
+	}
+	plans := make([]faultinject.Plan, 3*c.Runs)
+	for i := range plans {
+		kernels := stageKernels[stages[i/c.Runs]]
+		k := kernels[i%len(kernels)]
+		plans[i] = faultinject.NewPlan(k, ctr.Count(k), rng)
+	}
+	return plans
+}
+
+// runInjected replays an injection schedule in w on p, mission i flying
+// under plans[i] with the golden seed of run i%Runs (paired with the golden
+// campaign). det, when non-nil, supplies a fresh detector per mission and is
+// invoked from worker goroutines.
+func (c *Context) runInjected(name string, w *env.World, p platform.Platform, plans []faultinject.Plan, det func() detect.Detector) *qof.Campaign {
+	return c.runN(name, len(plans), func(i int) pipeline.Config {
+		cfg := pipeline.Config{
+			World:       w,
+			Platform:    p,
+			Seed:        c.Seed + int64(i%c.Runs),
+			KernelFault: &plans[i],
+		}
+		if det != nil {
+			cfg.Detector = det()
+		}
+		return cfg
+	})
 }
 
 // Row formats a campaign as a one-line summary.

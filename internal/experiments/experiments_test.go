@@ -1,19 +1,31 @@
 package experiments
 
 import (
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
+	"mavfi/internal/detect"
 	"mavfi/internal/faultinject"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/qof"
 )
 
 // tinyOpts keeps the experiment integration tests fast: the assertions below
-// check structure and direction, not statistical significance.
+// check structure and direction, not statistical significance. Under -short
+// (CI) the campaigns shrink further — still enough missions to exercise
+// every code path, not enough for tight statistics.
 func tinyOpts() Opts {
 	o := QuickOpts()
 	o.Runs = 6
 	o.TrainEnvs = 8
 	o.AAD.Epochs = 8
+	if testing.Short() {
+		o.Runs = 3
+		o.TrainEnvs = 5
+		o.AAD.Epochs = 6
+	}
 	return o
 }
 
@@ -208,6 +220,56 @@ func TestRecoveredFractionShape(t *testing.T) {
 	}
 	if ec.AAD.SuccessRate() < inj-0.15 {
 		t.Errorf("AAD success %.2f well below unprotected %.2f", ec.AAD.SuccessRate(), inj)
+	}
+}
+
+// campaignForWorkers runs one golden cell plus one AAD-protected injection
+// cell with the given worker count, from a fresh Context each time.
+func campaignForWorkers(o Opts, workers int) (golden, protected *qof.Campaign) {
+	o.Workers = workers
+	c := NewContext(o)
+	w := c.World("Sparse")
+	golden = c.runCell("Golden", func(i int) pipeline.Config {
+		return pipeline.Config{World: w, Platform: c.Platform, Seed: c.Seed + int64(i)}
+	})
+	ctr := c.calibrate(w, c.Platform)
+	plans := make([]faultinject.Plan, c.Runs)
+	// Deterministic schedule: reuse the calibration counter with a fixed
+	// stream so every worker-count variant replays identical faults.
+	rng := rand.New(rand.NewSource(c.Seed + 99))
+	for i := range plans {
+		plans[i] = faultinject.NewPlan(faultinject.KernelPlanner, ctr.Count(faultinject.KernelPlanner), rng)
+	}
+	protected = c.runInjected("Autoencoder", w, c.Platform, plans, func() detect.Detector {
+		return c.AADetector()
+	})
+	return golden, protected
+}
+
+// TestCampaignWorkerDeterminism is the engine's core guarantee at the
+// experiments layer: the same campaign seed yields an identical qof.Campaign
+// — mission for mission — whether the pool runs 1, 2, or 8 workers.
+func TestCampaignWorkerDeterminism(t *testing.T) {
+	o := tinyOpts()
+	o.Runs = 3
+	o.TrainEnvs = 4
+	o.AAD.Epochs = 4
+	var refGolden, refProtected *qof.Campaign
+	for _, workers := range []int{1, 2, 8} {
+		golden, protected := campaignForWorkers(o, workers)
+		if refGolden == nil {
+			refGolden, refProtected = golden, protected
+			continue
+		}
+		if !reflect.DeepEqual(refGolden.Results, golden.Results) {
+			t.Errorf("workers=%d: golden campaign differs from 1-worker run", workers)
+		}
+		if !reflect.DeepEqual(refProtected.Results, protected.Results) {
+			t.Errorf("workers=%d: protected campaign differs from 1-worker run", workers)
+		}
+	}
+	if refGolden.N() != o.Runs || refProtected.N() != o.Runs {
+		t.Fatalf("campaign sizes %d/%d", refGolden.N(), refProtected.N())
 	}
 }
 

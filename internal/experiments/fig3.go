@@ -49,16 +49,22 @@ func (c *Context) Fig3() *Fig3Result {
 
 	for ki, k := range fig3Kernels {
 		ctr := c.calibrate(w, c.Platform)
+		// Draw the cell's Runs injection plans up front (sequentially, as
+		// NewPlan consumes the RNG) so each mission is a pure function of
+		// its index and the cell can shard across workers.
 		planRNG := rand.New(rand.NewSource(c.Seed + int64(ki)*101 + 7))
+		plans := make([]faultinject.Plan, c.Runs)
+		for i := range plans {
+			plans[i] = faultinject.NewPlan(k.kernel, ctr.Count(k.kernel), planRNG)
+		}
 		kcell := k
 		out.Cells = append(out.Cells, c.runCell(k.name, func(i int) pipeline.Config {
-			plan := faultinject.NewPlan(kcell.kernel, ctr.Count(kcell.kernel), planRNG)
 			return pipeline.Config{
 				World:       w,
 				Platform:    c.Platform,
 				Planner:     kcell.planner,
 				Seed:        c.Seed + int64(i),
-				KernelFault: &plan,
+				KernelFault: &plans[i],
 			}
 		}))
 	}

@@ -39,18 +39,24 @@ func (c *Context) Fig4() *Fig4Result {
 	nominal := pipeline.NominalDuration(pipeline.Config{World: w, Platform: c.Platform})
 	for si := 0; si < int(faultinject.NumInjectableStates); si++ {
 		state := faultinject.StateID(si)
+		// Pre-draw the cell's injection plans (sequential RNG consumption)
+		// so missions shard across workers; the bit-field aggregation zips
+		// the mission-ordered results back with their plans.
 		planRNG := rand.New(rand.NewSource(c.Seed + int64(si)*211 + 13))
-		camp := &qof.Campaign{Name: state.String()}
-		for i := 0; i < c.Runs; i++ {
-			plan := faultinject.NewStatePlan(state, nominal*0.15, nominal*0.85, planRNG)
-			res := pipeline.RunMission(pipeline.Config{
+		plans := make([]faultinject.StatePlan, c.Runs)
+		for i := range plans {
+			plans[i] = faultinject.NewStatePlan(state, nominal*0.15, nominal*0.85, planRNG)
+		}
+		camp := c.runCell(state.String(), func(i int) pipeline.Config {
+			return pipeline.Config{
 				World:      w,
 				Platform:   c.Platform,
 				Seed:       c.Seed + int64(i),
-				StateFault: &plan,
-			})
-			camp.Add(res.Metrics)
-			out.ByField[faultinject.ClassifyBit(plan.Bit)].Add(res.Metrics)
+				StateFault: &plans[i],
+			}
+		})
+		for i, m := range camp.Results {
+			out.ByField[faultinject.ClassifyBit(plans[i].Bit)].Add(m)
 		}
 		out.Cells = append(out.Cells, camp)
 	}

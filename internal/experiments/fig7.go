@@ -35,40 +35,46 @@ type Fig7Result struct {
 
 // Fig7 searches seeds for injections that visibly detour the flight (the
 // paper's Fig. 7 shows hand-picked illustrative runs) and records the three
-// trajectories of each case.
+// trajectories of each case. Attempts run in parallel batches; within and
+// across batches the lowest qualifying attempt wins, so the selected case is
+// independent of worker count and batch size.
 func (c *Context) Fig7() *Fig7Result {
 	w := c.World("Dense")
 	ctr := c.calibrate(w, c.Platform)
 	out := &Fig7Result{}
+	const attempts = 60
 
 	for _, stage := range []faultinject.Stage{faultinject.StagePerception, faultinject.StagePlanning} {
 		kernels := stageKernels[stage]
+		// Draw every attempt's plan up front (sequential RNG consumption);
+		// an attempt then depends only on its index.
 		planRNG := rand.New(rand.NewSource(c.Seed + int64(stage)*37))
+		plans := make([]faultinject.Plan, attempts)
+		for a := range plans {
+			k := kernels[a%len(kernels)]
+			plans[a] = faultinject.NewPlan(k, ctr.Count(k), planRNG)
+		}
 
-		var best *Fig7Case
-		for attempt := 0; attempt < 60 && best == nil; attempt++ {
+		try := func(attempt int) *Fig7Case {
 			seed := c.Seed + int64(attempt)
-			k := kernels[attempt%len(kernels)]
-			plan := faultinject.NewPlan(k, ctr.Count(k), planRNG)
-
 			base := pipeline.Config{World: w, Platform: c.Platform, Seed: seed, Record: true}
 			golden := pipeline.RunMission(base)
 			if golden.Outcome != qof.Success {
-				continue
+				return nil
 			}
 			fiCfg := base
-			fiCfg.KernelFault = &plan
+			fiCfg.KernelFault = &plans[attempt]
 			faulty := pipeline.RunMission(fiCfg)
 			// Keep a case where the fault visibly stretched the flight
 			// (detour) without necessarily crashing.
 			if !faulty.Injected || faulty.FlightTimeS < golden.FlightTimeS*1.12 {
-				continue
+				return nil
 			}
 			recCfg := fiCfg
 			recCfg.Detector = c.AADetector()
 			rec := pipeline.RunMission(recCfg)
 
-			best = &Fig7Case{
+			return &Fig7Case{
 				Stage:            stage,
 				Seed:             seed,
 				Golden:           label(golden.Trace, "golden"),
@@ -79,6 +85,29 @@ func (c *Context) Fig7() *Fig7Result {
 				RecoveredS:       rec.FlightTimeS,
 				FaultyOutcome:    faulty.Outcome,
 				RecoveredOutcome: rec.Outcome,
+			}
+		}
+
+		// Batched search: each batch fans its attempts across the pool and
+		// the search stops at the first batch containing a hit, bounding
+		// wasted attempts to one batch past the sequential stopping point.
+		batch := 4 * c.runner.Workers()
+		var best *Fig7Case
+		for start := 0; start < attempts && best == nil; start += batch {
+			n := attempts - start
+			if n > batch {
+				n = batch
+			}
+			cases := make([]*Fig7Case, n)
+			if c.runner.ForEach(c.ctx, n, func(i int) { cases[i] = try(start + i) }) != nil {
+				c.interrupted.Store(true)
+				break
+			}
+			for _, cs := range cases {
+				if cs != nil {
+					best = cs
+					break
+				}
 			}
 		}
 		if best != nil {

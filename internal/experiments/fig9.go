@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"mavfi/internal/detect"
-	"mavfi/internal/faultinject"
 	"mavfi/internal/pipeline"
 	"mavfi/internal/platform"
 	"mavfi/internal/qof"
@@ -45,36 +44,11 @@ func (c *Context) Fig9() *Fig9Result {
 
 		ctr := c.calibrate(w, plat)
 		planRNG := rand.New(rand.NewSource(c.Seed + int64(len(plat.Name))*71))
-		stages := []faultinject.Stage{
-			faultinject.StagePerception,
-			faultinject.StagePlanning,
-			faultinject.StageControl,
-		}
-		nFI := 3 * c.Runs
-		plans := make([]faultinject.Plan, nFI)
-		for i := range plans {
-			kernels := stageKernels[stages[i/c.Runs]]
-			k := kernels[i%len(kernels)]
-			plans[i] = faultinject.NewPlan(k, ctr.Count(k), planRNG)
-		}
-		runFI := func(name string, det func() detect.Detector) *qof.Campaign {
-			camp := &qof.Campaign{Name: name}
-			for i := 0; i < nFI; i++ {
-				cfg := pipeline.Config{
-					World: w, Platform: plat,
-					Seed:        c.Seed + int64(i%c.Runs),
-					KernelFault: &plans[i],
-				}
-				if det != nil {
-					cfg.Detector = det()
-				}
-				camp.Add(pipeline.RunMission(cfg).Metrics)
-			}
-			return camp
-		}
-		ps.Injected = runFI("Injection", nil)
-		ps.GAD = runFI("Gaussian", func() detect.Detector { return c.GADetector() })
-		ps.AAD = runFI("Autoencoder", func() detect.Detector { return c.AADetector() })
+		plans := c.stagePlans(ctr, planRNG)
+
+		ps.Injected = c.runInjected("Injection", w, plat, plans, nil)
+		ps.GAD = c.runInjected("Gaussian", w, plat, plans, func() detect.Detector { return c.GADetector() })
+		ps.AAD = c.runInjected("Autoencoder", w, plat, plans, func() detect.Detector { return c.AADetector() })
 		out.Studies = append(out.Studies, ps)
 	}
 	return out

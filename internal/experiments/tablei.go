@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"mavfi/internal/detect"
-	"mavfi/internal/faultinject"
 	"mavfi/internal/pipeline"
 	"mavfi/internal/qof"
 )
@@ -46,42 +45,11 @@ func (c *Context) envCampaign(name string) *EnvCampaign {
 	// paired (same faults, with and without protection).
 	ctr := c.calibrate(w, c.Platform)
 	planRNG := rand.New(rand.NewSource(c.Seed + int64(len(name))*997))
-	stages := []faultinject.Stage{
-		faultinject.StagePerception,
-		faultinject.StagePlanning,
-		faultinject.StageControl,
-	}
-	nFI := 3 * c.Runs
-	plans := make([]faultinject.Plan, nFI)
-	for i := range plans {
-		stage := stages[i/c.Runs]
-		kernels := stageKernels[stage]
-		k := kernels[i%len(kernels)]
-		plans[i] = faultinject.NewPlan(k, ctr.Count(k), planRNG)
-	}
+	plans := c.stagePlans(ctr, planRNG)
 
-	runFI := func(cellName string, det func() detect.Detector) *qof.Campaign {
-		camp := &qof.Campaign{Name: cellName}
-		for i := 0; i < nFI; i++ {
-			plan := plans[i]
-			cfg := pipeline.Config{
-				World:       w,
-				Platform:    c.Platform,
-				Seed:        c.Seed + int64(i%c.Runs),
-				KernelFault: &plan,
-			}
-			if det != nil {
-				cfg.Detector = det()
-			}
-			res := pipeline.RunMission(cfg)
-			camp.Add(res.Metrics)
-		}
-		return camp
-	}
-
-	ec.Injected = runFI("Injection", nil)
-	ec.GAD = runFI("Gaussian", func() detect.Detector { return c.GADetector() })
-	ec.AAD = runFI("Autoencoder", func() detect.Detector { return c.AADetector() })
+	ec.Injected = c.runInjected("Injection", w, c.Platform, plans, nil)
+	ec.GAD = c.runInjected("Gaussian", w, c.Platform, plans, func() detect.Detector { return c.GADetector() })
+	ec.AAD = c.runInjected("Autoencoder", w, c.Platform, plans, func() detect.Detector { return c.AADetector() })
 
 	c.tableICache[name] = ec
 	return ec

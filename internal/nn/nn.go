@@ -155,6 +155,18 @@ func NewNetwork(sizes []int, acts []Activation, rng *rand.Rand) *Network {
 	return n
 }
 
+// CloneForInference returns a copy that shares the trained weight and bias
+// storage but carries its own forward-pass scratch, so concurrent Forward
+// calls on distinct clones do not race. Clones are inference-only: training
+// one (Backward/Step) would both race on and corrupt the shared weights.
+func (n *Network) CloneForInference() *Network {
+	c := &Network{step: n.step}
+	for _, l := range n.Layers {
+		c.Layers = append(c.Layers, &Dense{In: l.In, Out: l.Out, Act: l.Act, W: l.W, B: l.B})
+	}
+	return c
+}
+
 // Forward runs the network on x.
 func (n *Network) Forward(x []float64) []float64 {
 	for _, l := range n.Layers {

@@ -174,3 +174,40 @@ func TestXavierInitBounded(t *testing.T) {
 		}
 	}
 }
+
+func TestCloneForInferenceConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewNetwork([]int{13, 6, 3, 6, 13}, []Activation{Tanh, Tanh, Tanh, Identity}, rng)
+	x := make([]float64, 13)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := append([]float64(nil), net.Forward(x)...)
+
+	// Clones share weights but not scratch: concurrent Forward calls must
+	// neither race (checked under -race) nor perturb each other's outputs.
+	const clones = 8
+	outs := make([][]float64, clones)
+	done := make(chan int, clones)
+	for c := 0; c < clones; c++ {
+		go func(c int) {
+			cl := net.CloneForInference()
+			var out []float64
+			for iter := 0; iter < 200; iter++ {
+				out = cl.Forward(x)
+			}
+			outs[c] = append([]float64(nil), out...)
+			done <- c
+		}(c)
+	}
+	for c := 0; c < clones; c++ {
+		<-done
+	}
+	for c, out := range outs {
+		for i := range want {
+			if math.Abs(out[i]-want[i]) > 1e-15 {
+				t.Fatalf("clone %d output[%d] = %v, want %v", c, i, out[i], want[i])
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package pipeline
 
 import (
+	"context"
 	"math/rand"
 
+	"mavfi/internal/campaign"
 	"mavfi/internal/detect"
 	"mavfi/internal/env"
 	"mavfi/internal/platform"
@@ -11,21 +13,42 @@ import (
 // CollectTrainingData flies nEnvs error-free missions through randomised
 // training environments (the paper's "hundred of error-free randomized
 // environments") and returns the recorded preprocessed monitored-state
-// deltas — the training corpus for both detectors.
+// deltas — the training corpus for both detectors. It runs on a default
+// campaign pool; use CollectTrainingDataOn to share a caller's pool and
+// cancellation context.
 func CollectTrainingData(nEnvs int, seed int64, p platform.Platform) [][detect.NumStates]float64 {
+	data, _ := CollectTrainingDataOn(context.Background(), campaign.New(), nEnvs, seed, p)
+	return data
+}
+
+// CollectTrainingDataOn is CollectTrainingData on the caller's worker pool.
+// The worlds are generated up front (they consume a shared RNG), then the
+// missions fan out; per-environment recordings are concatenated in
+// environment order, so the corpus is byte-identical to a sequential
+// collection for any worker count. On cancellation it returns the partial
+// corpus together with ctx's error — do not train detectors on a partial
+// corpus.
+func CollectTrainingDataOn(ctx context.Context, r *campaign.Runner, nEnvs int, seed int64, p platform.Platform) ([][detect.NumStates]float64, error) {
 	rng := rand.New(rand.NewSource(seed))
-	var data [][detect.NumStates]float64
-	for i := 0; i < nEnvs; i++ {
-		w := env.Training(i, rng)
+	worlds := make([]*env.World, nEnvs)
+	for i := range worlds {
+		worlds[i] = env.Training(i, rng)
+	}
+	chunks := make([][][detect.NumStates]float64, nEnvs)
+	err := r.ForEach(ctx, nEnvs, func(i int) {
 		res := RunMission(Config{
-			World:        w,
+			World:        worlds[i],
 			Platform:     p,
 			Seed:         seed + int64(i)*7919,
 			RecordStates: true,
 		})
-		data = append(data, res.StateDeltas...)
+		chunks[i] = res.StateDeltas
+	})
+	var data [][detect.NumStates]float64
+	for _, c := range chunks {
+		data = append(data, c...)
 	}
-	return data
+	return data, err
 }
 
 // TrainGAD fits a fresh Gaussian detector on the training corpus.
