@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test test-full test-race bench
+.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,17 @@ test-full:
 test-race:
 	$(GO) test -race -short ./...
 
-# bench regenerates every paper table/figure headline metric plus the
-# campaign-engine scaling curve. Scale campaigns with MAVFI_BENCH_RUNS.
+# bench regenerates every paper table/figure headline metric, the campaign-
+# engine scaling curve, and the perception micro-benchmarks, and records the
+# machine-readable perf trajectory in $(BENCH_JSON) (benchmark → ns/op,
+# allocs/op, custom metrics). Scale campaigns with MAVFI_BENCH_RUNS.
+BENCH_JSON ?= BENCH_PR2.json
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' ./... > $(BENCH_JSON).raw
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).raw
+	@rm -f $(BENCH_JSON).raw
+
+# bench-smoke proves every benchmark still compiles and runs (one iteration
+# each); CI runs this so benchmarks cannot rot.
+bench-smoke:
+	MAVFI_BENCH_RUNS=2 $(GO) test -bench . -benchtime=1x -run '^$$' ./...

@@ -106,8 +106,14 @@ func SaveAAD(w io.Writer, a *AAD) error {
 		Margin:    a.Margin,
 	}
 	for _, l := range a.net.Layers {
+		// The layer stores weights as one contiguous row-major block; the
+		// model file keeps the original row-per-neuron JSON layout.
+		rows := make([][]float64, l.Out)
+		for i := range rows {
+			rows[i] = append([]float64(nil), l.Row(i)...)
+		}
 		m.Layers = append(m.Layers, layerJSON{
-			In: l.In, Out: l.Out, Act: int(l.Act), W: l.W, B: l.B,
+			In: l.In, Out: l.Out, Act: int(l.Act), W: rows, B: l.B,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -155,7 +161,7 @@ func LoadAAD(r io.Reader) (*AAD, error) {
 			if len(l.W[i]) != l.In {
 				return nil, fmt.Errorf("detect: AAD layer %d row %d width mismatch", li, i)
 			}
-			copy(dst.W[i], l.W[i])
+			copy(dst.Row(i), l.W[i])
 		}
 		copy(dst.B, l.B)
 	}

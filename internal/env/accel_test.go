@@ -1,0 +1,139 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// linearRaycast is the unaccelerated reference: the exact loop Raycast ran
+// before the spatial index existed.
+func linearRaycast(w *World, origin, dir geom.Vec3, maxRange float64) float64 {
+	best := maxRange
+	if dir.Z < -1e-12 {
+		t := -origin.Z / dir.Z
+		if t >= 0 && t < best {
+			best = t
+		}
+	}
+	for _, ob := range w.Obstacles {
+		if hit, t := ob.RayIntersection(origin, dir); hit && t >= 0 && t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+func linearAnyWithin(w *World, p geom.Vec3, radius float64) bool {
+	for _, ob := range w.Obstacles {
+		if ob.Dist(p) <= radius {
+			return true
+		}
+	}
+	return false
+}
+
+// denseTestWorld generates a world big enough to cross the indexing
+// threshold.
+func denseTestWorld(rng *rand.Rand) *World {
+	w := Generate("accel-test", GenConfig{Density: 0.25, Side: 5, SideJitter: 0.4}, rng)
+	if len(w.Obstacles) < accelMinObstacles {
+		panic("test world too sparse to exercise the index")
+	}
+	return w
+}
+
+// TestIndexedRaycastBitIdentical fires randomized rays through an indexed
+// world and demands bit-identical distances to the linear reference scan.
+func TestIndexedRaycastBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := denseTestWorld(rng)
+	if w.index() == nil {
+		t.Fatalf("world with %d obstacles did not build an index", len(w.Obstacles))
+	}
+	for i := 0; i < 5000; i++ {
+		origin := geom.V(rng.Float64()*60, rng.Float64()*60, rng.Float64()*20)
+		az := rng.Float64() * 2 * math.Pi
+		el := (rng.Float64() - 0.5) * math.Pi
+		dir := geom.V(math.Cos(el)*math.Cos(az), math.Cos(el)*math.Sin(az), math.Sin(el))
+		maxRange := 1 + rng.Float64()*40
+		got := w.Raycast(origin, dir, maxRange)
+		want := linearRaycast(w, origin, dir, maxRange)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("ray %d from %v dir %v: indexed %v != linear %v", i, origin, dir, got, want)
+		}
+	}
+}
+
+// TestIndexedOccupiedBitIdentical checks the sphere queries agree with the
+// linear scan on randomized probes, including points far outside the world.
+func TestIndexedOccupiedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := denseTestWorld(rng)
+	for i := 0; i < 20000; i++ {
+		p := geom.V(rng.Float64()*90-15, rng.Float64()*90-15, rng.Float64()*30-5)
+		radius := rng.Float64() * 2
+		if got, want := w.anyObstacleWithin(p, radius), linearAnyWithin(w, p, radius); got != want {
+			t.Fatalf("probe %d at %v r=%v: indexed %v != linear %v", i, p, radius, got, want)
+		}
+	}
+}
+
+// TestIndexedQueryOnExactBoxBoundary is the regression test for the
+// cellRange clamp: a probe sitting exactly `radius` beyond a face of the
+// obstacle-union box (so the interval's lower cell floors to n, and the
+// distance early-reject does not fire) must not index past the grid.
+func TestIndexedQueryOnExactBoxBoundary(t *testing.T) {
+	w := &World{
+		Name:   "boundary",
+		Bounds: geom.Box(geom.V(0, 0, 0), geom.V(70, 70, 20)),
+		Start:  geom.V(1, 1, 0), Goal: geom.V(69, 69, 2), GoalTolerance: 1,
+	}
+	// 12 integer-aligned obstacles so the union box has round extents and
+	// the cell size divides them exactly.
+	for i := 0; i < 12; i++ {
+		x := float64(4 + 5*i)
+		w.Obstacles = append(w.Obstacles, geom.Box(geom.V(x, 4, 0), geom.V(x+2, 64, 8)))
+	}
+	if w.index() == nil {
+		t.Fatal("expected an index")
+	}
+	box := w.index().box
+	const r = 0.5
+	probes := []geom.Vec3{
+		{X: box.Max.X + r, Y: box.Max.Y, Z: box.Max.Z},
+		{X: box.Max.X, Y: box.Max.Y + r, Z: box.Max.Z},
+		{X: box.Max.X, Y: box.Max.Y, Z: box.Max.Z + r},
+		{X: box.Min.X - r, Y: box.Min.Y, Z: box.Min.Z},
+		box.Max, box.Min,
+	}
+	for _, p := range probes {
+		if got, want := w.anyObstacleWithin(p, r), linearAnyWithin(w, p, r); got != want {
+			t.Errorf("probe %v: indexed %v != linear %v", p, got, want)
+		}
+	}
+	for _, dir := range []geom.Vec3{{X: 1}, {Y: 1}, {Z: 1}, {X: -1}} {
+		got := w.Raycast(box.Max, dir, 30)
+		want := linearRaycast(w, box.Max, dir, 30)
+		if got != want {
+			t.Errorf("ray from box corner along %v: indexed %v != linear %v", dir, got, want)
+		}
+	}
+}
+
+// TestSmallWorldsSkipIndex pins the threshold behaviour: preset-sized
+// obstacle sets stay on the linear path.
+func TestSmallWorldsSkipIndex(t *testing.T) {
+	if Factory().index() != nil {
+		t.Error("Factory should not build an index")
+	}
+	if Farm().index() != nil {
+		t.Error("Farm should not build an index")
+	}
+	w := denseTestWorld(rand.New(rand.NewSource(13)))
+	if w.index() == nil {
+		t.Error("dense generated world should build an index")
+	}
+}

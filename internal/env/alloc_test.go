@@ -1,0 +1,30 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+	"mavfi/internal/testutil"
+)
+
+// TestWorldQueriesAllocFree: the world queries the depth camera and the
+// simulator hammer every tick must not allocate, with or without the
+// spatial index.
+func TestWorldQueriesAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are meaningless under -race instrumentation")
+	}
+	for _, w := range []*World{Factory(), denseTestWorld(rand.New(rand.NewSource(21)))} {
+		w.index() // build outside the measured region
+		origin := geom.V(10, 10, 3)
+		dir := geom.V(1, 0, 0)
+		if allocs := testing.AllocsPerRun(100, func() {
+			w.Raycast(origin, dir, 30)
+			w.Occupied(origin, 0.4)
+			w.Collides(origin, 0.3)
+		}); allocs != 0 {
+			t.Fatalf("%s: world queries allocate %v objects, want 0", w.Name, allocs)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// benchRays draws a fixed fan of rays over a dense generated world.
+func benchRays() (*World, []geom.Vec3, geom.Vec3) {
+	w := denseTestWorld(rand.New(rand.NewSource(31)))
+	dirs := make([]geom.Vec3, 384)
+	for i := range dirs {
+		az := float64(i) / float64(len(dirs)) * 2 * math.Pi
+		el := (float64(i%16)/15 - 0.5) * math.Pi / 3
+		dirs[i] = geom.V(math.Cos(el)*math.Cos(az), math.Cos(el)*math.Sin(az), math.Sin(el))
+	}
+	return w, dirs, geom.V(30, 30, 3)
+}
+
+// BenchmarkRaycastIndexed measures one depth frame's worth of rays through
+// the spatial index.
+func BenchmarkRaycastIndexed(b *testing.B) {
+	w, dirs, origin := benchRays()
+	w.index()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range dirs {
+			w.Raycast(origin, d, 20)
+		}
+	}
+}
+
+// BenchmarkRaycastLinear measures the same rays through the pre-PR2 linear
+// obstacle scan.
+func BenchmarkRaycastLinear(b *testing.B) {
+	w, dirs, origin := benchRays()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range dirs {
+			linearRaycast(w, origin, d, 20)
+		}
+	}
+}

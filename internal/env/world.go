@@ -14,6 +14,7 @@ package env
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"mavfi/internal/geom"
 )
@@ -25,11 +26,42 @@ type World struct {
 	// Bounds is the legal flight volume; leaving it counts as a failure.
 	Bounds geom.AABB
 	// Obstacles are solid cuboids. The ground plane z=0 is always solid.
+	// The obstacle set must not change after the first query (Occupied,
+	// Collides, Raycast, …): queries lazily build a spatial index over it,
+	// shared by every concurrent mission flying this world.
 	Obstacles []geom.AABB
 	// Start is the take-off position, Goal the mission destination.
 	Start, Goal geom.Vec3
 	// GoalTolerance is the arrival radius around Goal.
 	GoalTolerance float64
+
+	accelOnce sync.Once
+	accel     *obstacleIndex
+}
+
+// index returns the obstacle spatial index, building it on first use; nil
+// for small obstacle sets, where the linear scan wins.
+func (w *World) index() *obstacleIndex {
+	w.accelOnce.Do(func() {
+		if len(w.Obstacles) >= accelMinObstacles {
+			w.accel = buildIndex(w.Obstacles)
+		}
+	})
+	return w.accel
+}
+
+// anyObstacleWithin reports whether any obstacle surface lies within radius
+// of p, through the index when one exists.
+func (w *World) anyObstacleWithin(p geom.Vec3, radius float64) bool {
+	if idx := w.index(); idx != nil {
+		return idx.anyWithin(w.Obstacles, p, radius)
+	}
+	for i := range w.Obstacles {
+		if w.Obstacles[i].Dist(p) <= radius {
+			return true
+		}
+	}
+	return false
 }
 
 // Occupied reports whether a sphere of the given radius centred at p
@@ -41,12 +73,7 @@ func (w *World) Occupied(p geom.Vec3, radius float64) bool {
 	if !w.Bounds.Expand(-radius).Contains(p) {
 		return true
 	}
-	for _, ob := range w.Obstacles {
-		if ob.Dist(p) <= radius {
-			return true
-		}
-	}
-	return false
+	return w.anyObstacleWithin(p, radius)
 }
 
 // Collides reports whether the vehicle body physically collides at p: an
@@ -60,12 +87,7 @@ func (w *World) Collides(p geom.Vec3, radius float64) bool {
 	if !w.Bounds.Contains(p) {
 		return true
 	}
-	for _, ob := range w.Obstacles {
-		if ob.Dist(p) <= radius {
-			return true
-		}
-	}
-	return false
+	return w.anyObstacleWithin(p, radius)
 }
 
 // SegmentFree reports whether the straight segment a→b, swept by a sphere of
@@ -90,7 +112,8 @@ func (w *World) SegmentFree(a, b geom.Vec3, radius float64) bool {
 
 // Raycast returns the distance along unit-direction dir from origin to the
 // first obstacle or the ground, capped at maxRange. A clear ray returns
-// maxRange.
+// maxRange. Large obstacle sets are traversed through the spatial index;
+// the returned distance is bit-identical either way.
 func (w *World) Raycast(origin, dir geom.Vec3, maxRange float64) float64 {
 	best := maxRange
 	// Ground plane z = 0.
@@ -99,6 +122,9 @@ func (w *World) Raycast(origin, dir geom.Vec3, maxRange float64) float64 {
 		if t >= 0 && t < best {
 			best = t
 		}
+	}
+	if idx := w.index(); idx != nil {
+		return idx.raycast(w.Obstacles, origin, dir, best)
 	}
 	for _, ob := range w.Obstacles {
 		if hit, t := ob.RayIntersection(origin, dir); hit && t >= 0 && t < best {

@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// aadShape mirrors the paper's autoencoder: 13-6-3-6-13.
+func aadShape(rng *rand.Rand) *Network {
+	return NewNetwork([]int{13, 6, 3, 6, 13}, []Activation{Tanh, Tanh, Tanh, Identity}, rng)
+}
+
+// BenchmarkForward measures one AAD-shaped inference, the per-tick detector
+// cost, over the flattened row-major weight layout.
+func BenchmarkForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	net := aadShape(rng)
+	x := make([]float64, 13)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+// BenchmarkTrainStep measures one forward+backward+Adam cycle, the AAD
+// training inner loop.
+func BenchmarkTrainStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	net := aadShape(rng)
+	cfg := DefaultAdam()
+	x := make([]float64, 13)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+		net.BackwardMSE(x)
+		net.AdamStep(cfg, 1)
+	}
+}

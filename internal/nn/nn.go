@@ -53,46 +53,49 @@ func (a Activation) derivFromOut(y float64) float64 {
 	}
 }
 
-// Dense is one fully connected layer with weights W[out][in] and bias B.
+// Dense is one fully connected layer with weights W (row-major, Out×In:
+// W[i*In+j] connects input j to output i) and bias B. Weights, Adam
+// moments, and gradients are single contiguous slices rather than
+// slice-of-slice matrices: one cache-friendly block each, no per-row
+// headers, and no pointer chase in the inner loops.
 type Dense struct {
 	In, Out int
 	Act     Activation
-	W       [][]float64
+	W       []float64 // row-major [Out*In]
 	B       []float64
 
-	// Adam moments.
-	mW, vW [][]float64
+	// Adam moments, same layout as W / B.
+	mW, vW []float64
 	mB, vB []float64
 
 	// Forward caches for backprop.
 	input  []float64
 	output []float64
 
-	// Gradients accumulated by Backward.
-	gW [][]float64
+	// Gradients accumulated by Backward, same layout as W / B.
+	gW []float64
 	gB []float64
 }
+
+// Row returns output neuron i's weight row, aliasing the layer storage.
+func (d *Dense) Row(i int) []float64 { return d.W[i*d.In : (i+1)*d.In] }
 
 // NewDense creates a layer with Xavier/Glorot-uniform initialisation drawn
 // from rng.
 func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
 	limit := math.Sqrt(6.0 / float64(in+out))
 	d := &Dense{In: in, Out: out, Act: act}
-	alloc2 := func() [][]float64 {
-		m := make([][]float64, out)
-		for i := range m {
-			m[i] = make([]float64, in)
-		}
-		return m
-	}
-	d.W, d.mW, d.vW, d.gW = alloc2(), alloc2(), alloc2(), alloc2()
+	d.W = make([]float64, out*in)
+	d.mW = make([]float64, out*in)
+	d.vW = make([]float64, out*in)
+	d.gW = make([]float64, out*in)
 	d.B = make([]float64, out)
 	d.mB = make([]float64, out)
 	d.vB = make([]float64, out)
 	d.gB = make([]float64, out)
 	for i := 0; i < out; i++ {
 		for j := 0; j < in; j++ {
-			d.W[i][j] = (rng.Float64()*2 - 1) * limit
+			d.W[i*in+j] = (rng.Float64()*2 - 1) * limit
 		}
 	}
 	return d
@@ -109,7 +112,7 @@ func (d *Dense) Forward(x []float64) []float64 {
 	}
 	for i := 0; i < d.Out; i++ {
 		sum := d.B[i]
-		w := d.W[i]
+		w := d.Row(i)
 		for j := 0; j < d.In; j++ {
 			sum += w[j] * x[j]
 		}
@@ -125,8 +128,8 @@ func (d *Dense) Backward(gradOut []float64) []float64 {
 	for i := 0; i < d.Out; i++ {
 		g := gradOut[i] * d.Act.derivFromOut(d.output[i])
 		d.gB[i] += g
-		w := d.W[i]
-		gw := d.gW[i]
+		w := d.Row(i)
+		gw := d.gW[i*d.In : (i+1)*d.In]
 		for j := 0; j < d.In; j++ {
 			gw[j] += g * d.input[j]
 			gradIn[j] += g * w[j]
@@ -230,14 +233,16 @@ func (n *Network) AdamStep(cfg AdamConfig, batchSize int) {
 	}
 	for _, l := range n.Layers {
 		for i := 0; i < l.Out; i++ {
+			base := i * l.In
 			for j := 0; j < l.In; j++ {
-				g := l.gW[i][j] * inv
-				l.mW[i][j] = cfg.Beta1*l.mW[i][j] + (1-cfg.Beta1)*g
-				l.vW[i][j] = cfg.Beta2*l.vW[i][j] + (1-cfg.Beta2)*g*g
-				mHat := l.mW[i][j] / bc1
-				vHat := l.vW[i][j] / bc2
-				l.W[i][j] -= cfg.LR * mHat / (math.Sqrt(vHat) + cfg.Epsilon)
-				l.gW[i][j] = 0
+				k := base + j
+				g := l.gW[k] * inv
+				l.mW[k] = cfg.Beta1*l.mW[k] + (1-cfg.Beta1)*g
+				l.vW[k] = cfg.Beta2*l.vW[k] + (1-cfg.Beta2)*g*g
+				mHat := l.mW[k] / bc1
+				vHat := l.vW[k] / bc2
+				l.W[k] -= cfg.LR * mHat / (math.Sqrt(vHat) + cfg.Epsilon)
+				l.gW[k] = 0
 			}
 			g := l.gB[i] * inv
 			l.mB[i] = cfg.Beta1*l.mB[i] + (1-cfg.Beta1)*g

@@ -60,13 +60,14 @@ func TestGradientNumerical(t *testing.T) {
 	for li, layer := range net.Layers {
 		for i := 0; i < layer.Out; i++ {
 			for j := 0; j < layer.In; j++ {
-				analytic := layer.gW[i][j]
-				orig := layer.W[i][j]
-				layer.W[i][j] = orig + eps
+				k := i*layer.In + j
+				analytic := layer.gW[k]
+				orig := layer.W[k]
+				layer.W[k] = orig + eps
 				lossPlus := MSE(net.Forward(x), target)
-				layer.W[i][j] = orig - eps
+				layer.W[k] = orig - eps
 				lossMinus := MSE(net.Forward(x), target)
-				layer.W[i][j] = orig
+				layer.W[k] = orig
 				numeric := (lossPlus - lossMinus) / (2 * eps)
 				if math.Abs(analytic-numeric) > 1e-5*(1+math.Abs(numeric)) {
 					t.Fatalf("layer %d W[%d][%d]: analytic %v vs numeric %v", li, i, j, analytic, numeric)
@@ -163,12 +164,12 @@ func TestXavierInitBounded(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	d := NewDense(10, 10, Tanh, rng)
 	limit := math.Sqrt(6.0 / 20)
-	for i := range d.W {
-		for j := range d.W[i] {
-			if math.Abs(d.W[i][j]) > limit {
-				t.Fatalf("weight %v exceeds Xavier limit %v", d.W[i][j], limit)
-			}
+	for _, w := range d.W {
+		if math.Abs(w) > limit {
+			t.Fatalf("weight %v exceeds Xavier limit %v", w, limit)
 		}
+	}
+	for i := range d.B {
 		if d.B[i] != 0 {
 			t.Error("bias not zero-initialised")
 		}

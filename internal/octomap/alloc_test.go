@@ -1,0 +1,31 @@
+package octomap
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+	"mavfi/internal/testutil"
+)
+
+// TestInsertCloudSteadyStateAllocFree pins the PR2 contract on the mapping
+// kernel: once the tree has observed a region (nodes expanded, scan scratch
+// sized), re-integrating scans over it must allocate nothing — the node
+// arena only grows when new space is observed, and then amortised across
+// thousands of nodes.
+func TestInsertCloudSteadyStateAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are meaningless under -race instrumentation")
+	}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(32, 32, 16))
+	tr := New(bounds, 0.5, DefaultParams())
+	rng := rand.New(rand.NewSource(3))
+	origin := geom.V(16, 16, 8)
+	pts := randomScan(rng, origin, 300)
+	tr.InsertCloud(origin, pts) // warm: expand nodes, size scratch
+	if allocs := testing.AllocsPerRun(20, func() {
+		tr.InsertCloud(origin, pts)
+	}); allocs != 0 {
+		t.Fatalf("steady-state InsertCloud allocates %v objects per scan, want 0", allocs)
+	}
+}

@@ -1,0 +1,46 @@
+package octomap
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// benchScan builds a depth-scan-shaped workload on a mission-sized volume.
+func benchScan() (*Tree, geom.Vec3, []RayPoint) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(60, 60, 20))
+	tr := New(bounds, 0.5, DefaultParams())
+	rng := rand.New(rand.NewSource(5))
+	origin := geom.V(30, 30, 3)
+	return tr, origin, randomScan(rng, origin, 384) // depth-camera ray count
+}
+
+// BenchmarkInsertCloud measures the batched scan-integration path the
+// mission loop uses.
+func BenchmarkInsertCloud(b *testing.B) {
+	tr, origin, pts := benchScan()
+	tr.InsertCloud(origin, pts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.InsertCloud(origin, pts)
+	}
+	b.ReportMetric(float64(tr.LeafUpdates())/float64(b.N+1), "leafupdates/scan")
+}
+
+// BenchmarkInsertRayReference measures the per-ray reference path on the
+// identical scan, the before-side of the PR2 batching speedup.
+func BenchmarkInsertRayReference(b *testing.B) {
+	tr, origin, pts := benchScan()
+	for _, p := range pts {
+		tr.InsertRay(origin, p.End, p.Hit)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pts {
+			tr.InsertRay(origin, p.End, p.Hit)
+		}
+	}
+}

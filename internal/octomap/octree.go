@@ -11,6 +11,7 @@ package octomap
 
 import (
 	"math"
+	"math/bits"
 
 	"mavfi/internal/geom"
 )
@@ -52,21 +53,63 @@ func DefaultParams() Params {
 func logit(p float64) float64 { return math.Log(p / (1 - p)) }
 
 // Tree is the occupancy octree over a cubic volume.
+//
+// Nodes live in one contiguous arena (t.nodes) and reference their children
+// by index, not pointer: a node is 16 bytes instead of a heap object with
+// eight child pointers, the eight children of a node are adjacent in memory,
+// and the whole arena is pointer-free — the garbage collector never scans
+// the map and the hot path emits no write barriers. Expansion always
+// materialises all eight children at once (the original invariant), so a
+// node is either a leaf (firstChild < 0) or fully interior.
 type Tree struct {
 	params     Params
 	resolution float64
 	depth      int       // tree depth; leaves are resolution-sized
 	origin     geom.Vec3 // minimum corner of the root cube
 	rootSize   float64   // side length of the root cube
-	root       *node
+	nodes      []node    // node arena; index 0 is the root
+
+	path pathCache  // memoised write-path descent for coherent updates
+	qry  queryCache // memoised read-path descent for coherent queries
+	mut  uint64     // bumped on every tree mutation; invalidates qry
+	scan scanBatch  // per-scan voxel grouping scratch for InsertCloud
 
 	leafUpdates int // total leaf evidence updates, for overhead accounting
 }
 
+// node is one octree cell: a leaf when firstChild < 0, otherwise its eight
+// children are nodes[firstChild .. firstChild+7] in Morton child order.
 type node struct {
-	children [8]*node
-	logOdds  float64
-	isLeaf   bool
+	logOdds    float64
+	firstChild int32
+}
+
+const noChild = int32(-1)
+
+// pathCache memoises the most recent root→leaf write descent. Consecutive
+// evidence updates come from voxel-stepped rays and are therefore spatially
+// coherent: the next key usually shares all but the lowest level(s) of its
+// path with the previous one, so the descent restarts at the first differing
+// level instead of at the root. Entries are arena indices, which stay valid
+// across arena growth and in-place expansion.
+type pathCache struct {
+	valid   bool
+	x, y, z int
+	parents [32]int32 // parents[level] chose its child with bit `level`
+	leaf    int32
+}
+
+// queryCache memoises the most recent lookup descent the same way. Reads
+// stop early at coarse leaves, so the cache also records where the walk
+// terminated; any tree mutation (t.mut) invalidates it, which keeps the
+// planner's query bursts fast without ever serving stale structure.
+type queryCache struct {
+	mut      uint64
+	valid    bool
+	x, y, z  int
+	parents  [32]int32
+	endLevel int // level the walk stopped before consuming; -1 = full depth
+	terminal int32
 }
 
 // New creates a tree covering the axis-aligned cube that contains bounds,
@@ -83,14 +126,19 @@ func New(bounds geom.AABB, resolution float64, params Params) *Tree {
 		rootSize *= 2
 		depth++
 	}
-	return &Tree{
+	t := &Tree{
 		params:     params,
 		resolution: resolution,
 		depth:      depth,
 		origin:     bounds.Min,
 		rootSize:   rootSize,
-		root:       &node{isLeaf: true},
+		// Pre-size the arena so typical missions never pay an arena copy;
+		// 1<<17 16-byte nodes is 2 MiB against maps that grow to several
+		// hundred thousand nodes.
+		nodes: make([]node, 1, 1<<17),
 	}
+	t.nodes[0] = node{firstChild: noChild}
+	return t
 }
 
 // Resolution returns the leaf voxel side length in metres.
@@ -125,61 +173,128 @@ func (t *Tree) VoxelCenter(p geom.Vec3) (geom.Vec3, bool) {
 	return t.origin.Add(geom.V((float64(x)+0.5)*r, (float64(y)+0.5)*r, (float64(z)+0.5)*r)), true
 }
 
+// expand turns leaf ni into an interior node, pushing its value down into
+// eight freshly appended children.
+func (t *Tree) expand(ni int32) {
+	base := int32(len(t.nodes))
+	lo := t.nodes[ni].logOdds
+	var block [8]node
+	for i := range block {
+		block[i] = node{logOdds: lo, firstChild: noChild}
+	}
+	t.nodes = append(t.nodes, block[:]...)
+	t.nodes[ni].firstChild = base
+	t.mut++
+}
+
+// descend returns the leaf node index for key (x,y,z), expanding interior
+// nodes as needed. The path cache short-circuits the shared upper levels of
+// coherent key sequences.
+func (t *Tree) descend(x, y, z int) int32 {
+	startLevel := t.depth - 1
+	ni := int32(0)
+	if t.path.valid {
+		diff := (x ^ t.path.x) | (y ^ t.path.y) | (z ^ t.path.z)
+		if diff == 0 {
+			return t.path.leaf
+		}
+		if hb := bits.Len(uint(diff)) - 1; hb < startLevel {
+			// All levels above hb select the same children as the cached
+			// descent; resume from the first level whose child index can
+			// differ.
+			startLevel = hb
+			ni = t.path.parents[hb]
+		}
+	}
+	for level := startLevel; level >= 0; level-- {
+		if t.nodes[ni].firstChild == noChild {
+			// Expand: push current value down on demand.
+			t.expand(ni)
+		}
+		idx := ((x>>level)&1)<<2 | ((y>>level)&1)<<1 | (z >> level & 1)
+		t.path.parents[level] = ni
+		ni = t.nodes[ni].firstChild + int32(idx)
+	}
+	t.path.valid = true
+	t.path.x, t.path.y, t.path.z = x, y, z
+	t.path.leaf = ni
+	return ni
+}
+
 // updateKey applies delta log-odds evidence to the voxel at integer key
 // (x,y,z), expanding interior nodes as needed.
 func (t *Tree) updateKey(x, y, z int, delta float64) {
-	n := t.root
-	for level := t.depth - 1; level >= 0; level-- {
-		if n.isLeaf {
-			// Expand: push current value down on demand.
-			n.isLeaf = false
-			for i := range n.children {
-				n.children[i] = &node{isLeaf: true, logOdds: n.logOdds}
-			}
-		}
-		idx := ((x>>level)&1)<<2 | ((y>>level)&1)<<1 | (z >> level & 1)
-		if n.children[idx] == nil {
-			n.children[idx] = &node{isLeaf: true}
-		}
-		n = n.children[idx]
-	}
+	t.applyDelta(t.descend(x, y, z), delta)
+}
+
+// applyDelta applies one evidence delta to the leaf at arena index ni. This
+// is where the markKnown epsilon convention is applied: a voxel is "known"
+// iff its log-odds is non-zero, and instead of spending a flag bit per node,
+// evidence that leaves the clamped log-odds at exactly 0 would be nudged to
+// a 1e-9 epsilon. The nudge is guarded on logOdds != 0 (preserved
+// bit-for-bit from the reference implementation), so evidence that cancels
+// to exactly 0 reads as unknown again — with the default logit sensor model
+// the hit/miss deltas are irrational multiples that never cancel exactly, so
+// the case does not arise in practice.
+func (t *Tree) applyDelta(ni int32, delta float64) {
+	n := &t.nodes[ni]
 	n.logOdds = geom.Clampf(n.logOdds+delta, t.params.ClampMin, t.params.ClampMax)
 	if n.logOdds != 0 {
 		markKnown(n)
 	}
 	t.leafUpdates++
+	t.mut++
 }
 
-// knownMarker distinguishes "log-odds exactly 0 because untouched" from
-// "touched". We store a tiny epsilon on first touch instead of a flag to
-// keep the node small; any evidence application marks the voxel known.
+// markKnown nudges an exactly-zero log-odds to a tiny epsilon so the voxel
+// reads as known (see applyDelta for the convention).
 func markKnown(n *node) {
 	if n.logOdds == 0 {
 		n.logOdds = 1e-9
 	}
 }
 
-// lookup returns the leaf (or coarser) node covering key (x,y,z) and whether
-// the voxel has ever received evidence.
+// lookup returns the log-odds of the leaf (or coarser) node covering key
+// (x,y,z) and whether the voxel has ever received evidence (the markKnown
+// convention: known ⇔ non-zero log-odds). Planner queries arrive in
+// spatially coherent bursts between map updates, so the descent resumes from
+// the cached path whenever the tree has not mutated since.
 func (t *Tree) lookup(x, y, z int) (logOdds float64, known bool) {
-	n := t.root
-	touched := false
-	for level := t.depth - 1; level >= 0; level-- {
-		if n.isLeaf {
+	startLevel := t.depth - 1
+	ni := int32(0)
+	q := &t.qry
+	if q.valid && q.mut == t.mut {
+		diff := (x ^ q.x) | (y ^ q.y) | (z ^ q.z)
+		hb := bits.Len(uint(diff)) - 1 // -1 when diff == 0
+		if hb <= q.endLevel {
+			// The cached walk terminated above every differing bit: the
+			// same (possibly coarse) node covers this key.
+			lo := t.nodes[q.terminal].logOdds
+			return lo, lo != 0
+		}
+		if hb < startLevel {
+			startLevel = hb
+			ni = q.parents[hb]
+		}
+	} else {
+		q.valid = true
+		q.mut = t.mut
+	}
+	level := startLevel
+	for ; level >= 0; level-- {
+		fc := t.nodes[ni].firstChild
+		if fc == noChild {
 			break
 		}
 		idx := ((x>>level)&1)<<2 | ((y>>level)&1)<<1 | (z >> level & 1)
-		c := n.children[idx]
-		if c == nil {
-			return 0, false
-		}
-		n = c
-		touched = true
+		q.parents[level] = ni
+		ni = fc + int32(idx)
 	}
-	if !touched && n == t.root && n.isLeaf {
-		return n.logOdds, n.logOdds != 0
-	}
-	return n.logOdds, n.logOdds != 0
+	q.x, q.y, q.z = x, y, z
+	q.endLevel = level // -1 after a full descent
+	q.terminal = ni
+	lo := t.nodes[ni].logOdds
+	return lo, lo != 0
 }
 
 // At classifies the voxel containing p. Points outside the mapped volume are
@@ -232,26 +347,67 @@ func (t *Tree) MarkFree(p geom.Vec3) {
 // The endpoint voxel is identified from the endpoint itself (not the
 // clipped walk), so a surface point landing exactly on a voxel boundary
 // attributes its hit evidence to the voxel containing the surface.
+//
+// InsertRay is the per-ray reference path; whole depth scans should go
+// through InsertCloud, which integrates the identical evidence with one tree
+// descent per unique voxel instead of one per ray step.
 func (t *Tree) InsertRay(origin, end geom.Vec3, hit bool) {
+	t.integrateRay(origin, end, hit, false)
+}
+
+// integrateRay is the single evidence schedule both insertion paths share:
+// miss evidence along the clipped walk (endpoint voxel excluded), then hit
+// or miss evidence at the endpoint voxel. With batch set, evidence goes into
+// the scan batch for grouped application; otherwise it is applied to the
+// tree immediately. One body means InsertRay and InsertCloud cannot drift
+// apart on the schedule their bit-identical equivalence depends on.
+func (t *Tree) integrateRay(origin, end geom.Vec3, hit, batch bool) {
 	ex, ey, ez, endOK := t.key(end)
-	t.walkRay(origin, end, func(x, y, z int, last bool) {
-		if endOK && x == ex && y == ey && z == ez {
-			return // endpoint voxel handled below
+	var w rayWalker
+	t.startWalk(&w, origin, end)
+	for {
+		x, y, z, _, ok := w.next()
+		if !ok {
+			break
 		}
-		t.updateKey(x, y, z, t.params.LogOddsMiss)
-	})
-	if endOK {
-		if hit {
-			t.updateKey(ex, ey, ez, t.params.LogOddsHit)
+		if endOK && x == ex && y == ey && z == ez {
+			continue // endpoint voxel handled below
+		}
+		if batch {
+			t.scan.record(t, x, y, z, false)
 		} else {
+			t.updateKey(x, y, z, t.params.LogOddsMiss)
+		}
+	}
+	if endOK {
+		switch {
+		case batch:
+			t.scan.record(t, ex, ey, ez, hit)
+		case hit:
+			t.updateKey(ex, ey, ez, t.params.LogOddsHit)
+		default:
 			t.updateKey(ex, ey, ez, t.params.LogOddsMiss)
 		}
 	}
 }
 
-// walkRay visits every leaf voxel key from origin to end in order, flagging
-// the final voxel.
-func (t *Tree) walkRay(origin, end geom.Vec3, visit func(x, y, z int, last bool)) {
+// rayWalker streams the leaf voxel keys a segment crosses, in order, without
+// a per-ray closure allocation. Both InsertRay and InsertCloud traverse
+// through it, so the two paths visit bit-identical voxel sequences.
+type rayWalker struct {
+	x, y, z                   int
+	ex, ey, ez                int
+	stepX, stepY, stepZ       int
+	tMaxX, tMaxY, tMaxZ       float64
+	tDeltaX, tDeltaY, tDeltaZ float64
+	steps, maxSteps           int
+	valid                     bool
+}
+
+// startWalk initialises w for the segment origin→end clipped to the root
+// volume; w is invalid (yields no voxels) when the segment misses it.
+func (t *Tree) startWalk(w *rayWalker, origin, end geom.Vec3) {
+	w.valid = false
 	// Clip the segment to the root volume.
 	rootBox := geom.Box(t.origin, t.origin.Add(geom.V(t.rootSize, t.rootSize, t.rootSize)))
 	ok, t0, t1 := rootBox.SegmentIntersection(origin, end)
@@ -272,30 +428,57 @@ func (t *Tree) walkRay(origin, end geom.Vec3, visit func(x, y, z int, last bool)
 	}
 
 	dir := p1.Sub(p0)
-	stepX, tMaxX, tDeltaX := initAxis(p0.X-t.origin.X, dir.X, t.resolution)
-	stepY, tMaxY, tDeltaY := initAxis(p0.Y-t.origin.Y, dir.Y, t.resolution)
-	stepZ, tMaxZ, tDeltaZ := initAxis(p0.Z-t.origin.Z, dir.Z, t.resolution)
+	w.stepX, w.tMaxX, w.tDeltaX = initAxis(p0.X-t.origin.X, dir.X, t.resolution)
+	w.stepY, w.tMaxY, w.tDeltaY = initAxis(p0.Y-t.origin.Y, dir.Y, t.resolution)
+	w.stepZ, w.tMaxZ, w.tDeltaZ = initAxis(p0.Z-t.origin.Z, dir.Z, t.resolution)
 
+	w.x, w.y, w.z = x, y, z
+	w.ex, w.ey, w.ez = ex, ey, ez
 	// Bound iterations defensively: the ray cannot cross more voxels than
 	// the Manhattan key distance plus slack.
-	maxSteps := abs(ex-x) + abs(ey-y) + abs(ez-z) + 3
-	for i := 0; i < maxSteps; i++ {
-		last := x == ex && y == ey && z == ez
-		visit(x, y, z, last)
-		if last {
+	w.maxSteps = abs(ex-x) + abs(ey-y) + abs(ez-z) + 3
+	w.steps = 0
+	w.valid = true
+}
+
+// next yields the next voxel key on the walk; last flags the final voxel and
+// ok is false once the walk is exhausted.
+func (w *rayWalker) next() (x, y, z int, last, ok bool) {
+	if !w.valid || w.steps >= w.maxSteps {
+		return 0, 0, 0, false, false
+	}
+	w.steps++
+	x, y, z = w.x, w.y, w.z
+	if x == w.ex && y == w.ey && z == w.ez {
+		w.valid = false
+		return x, y, z, true, true
+	}
+	switch {
+	case w.tMaxX <= w.tMaxY && w.tMaxX <= w.tMaxZ:
+		w.x += w.stepX
+		w.tMaxX += w.tDeltaX
+	case w.tMaxY <= w.tMaxZ:
+		w.y += w.stepY
+		w.tMaxY += w.tDeltaY
+	default:
+		w.z += w.stepZ
+		w.tMaxZ += w.tDeltaZ
+	}
+	return x, y, z, false, true
+}
+
+// walkRay visits every leaf voxel key from origin to end in order, flagging
+// the final voxel (retained for tests; the insertion paths use rayWalker
+// directly).
+func (t *Tree) walkRay(origin, end geom.Vec3, visit func(x, y, z int, last bool)) {
+	var w rayWalker
+	t.startWalk(&w, origin, end)
+	for {
+		x, y, z, last, ok := w.next()
+		if !ok {
 			return
 		}
-		switch {
-		case tMaxX <= tMaxY && tMaxX <= tMaxZ:
-			x += stepX
-			tMaxX += tDeltaX
-		case tMaxY <= tMaxZ:
-			y += stepY
-			tMaxY += tDeltaY
-		default:
-			z += stepZ
-			tMaxZ += tDeltaZ
-		}
+		visit(x, y, z, last)
 	}
 }
 
@@ -330,19 +513,17 @@ func abs(a int) int {
 
 // NumLeaves counts allocated leaf nodes, a memory-footprint proxy.
 func (t *Tree) NumLeaves() int {
-	var count func(n *node) int
-	count = func(n *node) int {
-		if n == nil {
-			return 0
-		}
-		if n.isLeaf {
+	var count func(ni int32) int
+	count = func(ni int32) int {
+		fc := t.nodes[ni].firstChild
+		if fc == noChild {
 			return 1
 		}
 		total := 0
-		for _, c := range n.children {
-			total += count(c)
+		for i := int32(0); i < 8; i++ {
+			total += count(fc + i)
 		}
 		return total
 	}
-	return count(t.root)
+	return count(0)
 }

@@ -114,6 +114,16 @@ type runner struct {
 
 	windBase geom.Vec3
 
+	// Per-mission scratch buffers for the perception hot path: the depth
+	// frame, the generated cloud, the octree scan batch, and the remaining-
+	// trajectory positions are reused every tick, keeping the steady-state
+	// loop allocation-free. One set per mission (not shared) so PR 1's
+	// parallel campaign workers never race on them.
+	frame   *sim.DepthImage
+	cloud   *pointcloud.Cloud
+	scanBuf []octomap.RayPoint
+	posBuf  []geom.Vec3
+
 	rngs struct {
 		sensor, planner *rand.Rand
 	}
@@ -164,6 +174,8 @@ func newRunner(cfg Config) *runner {
 	}
 	r.pcgen = pointcloud.NewGenerator()
 	r.checker = perception.NewChecker(vp.Radius)
+	r.frame = &sim.DepthImage{}
+	r.cloud = &pointcloud.Cloud{}
 
 	pcfg := planning.DefaultConfig(cfg.World.Bounds)
 	switch cfg.Planner {
@@ -238,22 +250,27 @@ func (r *runner) buildGraph() {
 	r.wpT = ros.OpenTopic[waypointMsg](g, "/planning/waypoint")
 	r.cmdT = ros.OpenTopic[sim.VelocityCmd](g, "/control/flight_command")
 
-	// Perception chain: depth → point cloud → OctoMap.
+	// Perception chain: depth → point cloud → OctoMap. Both kernels render
+	// into per-mission scratch (r.cloud, r.scanBuf): delivery is synchronous
+	// and no subscriber retains the message, so the buffers are free again
+	// by the time the next frame arrives.
 	r.depthT.Subscribe(pcgenN, func(img *sim.DepthImage) {
-		cloud := r.pcgen.Generate(img, r.hook(faultinject.KernelPCGen))
-		cloud.T = r.t
+		r.pcgen.GenerateInto(r.cloud, img, r.hook(faultinject.KernelPCGen))
+		r.cloud.T = r.t
 		r.acct.ComputeS += r.cfg.Platform.PCGenS
-		r.cloudT.Publish(cloud)
+		r.cloudT.Publish(r.cloud)
 	})
 	r.cloudT.Subscribe(mapN, func(c *pointcloud.Cloud) {
 		hook := r.hook(faultinject.KernelOctoMap)
+		r.scanBuf = r.scanBuf[:0]
 		for _, p := range c.Points {
 			pt := p.P
 			if hook != nil {
 				pt = geom.V(hook(pt.X), hook(pt.Y), hook(pt.Z))
 			}
-			r.tree.InsertRay(c.Origin, pt, p.Hit)
+			r.scanBuf = append(r.scanBuf, octomap.RayPoint{End: pt, Hit: p.Hit})
 		}
+		r.tree.InsertCloud(c.Origin, r.scanBuf)
 		r.acct.ComputeS += r.cfg.Platform.OctoMapS
 	})
 
@@ -364,8 +381,8 @@ func (r *runner) senseAndMap(st sim.State) {
 		return
 	}
 	r.nextMapT = r.t + r.mapPeriod
-	img := r.camera.Capture(r.world, st.Pos, st.Yaw, r.rngs.sensor)
-	r.depthT.Publish(img) // → point cloud → OctoMap, synchronously
+	r.camera.CaptureInto(r.frame, r.world, st.Pos, st.Yaw, r.rngs.sensor)
+	r.depthT.Publish(r.frame) // → point cloud → OctoMap, synchronously
 }
 
 // perceive runs the collision-check kernel each tick once airborne.
@@ -375,10 +392,10 @@ func (r *runner) perceive(st sim.State, phase planning.MissionPhase) {
 	}
 	var remaining []geom.Vec3
 	if r.curTraj != nil {
-		pts := r.curTraj.Positions()
+		r.posBuf = r.curTraj.AppendPositions(r.posBuf[:0])
 		i := r.tracker.NearestIndex()
-		if i < len(pts) {
-			remaining = pts[i:]
+		if i < len(r.posBuf) {
+			remaining = r.posBuf[i:]
 		}
 	}
 	rep := r.checker.Check(r.tree, st.Pos, st.Vel, remaining, r.hook(faultinject.KernelColCheck))

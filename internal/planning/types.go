@@ -49,11 +49,17 @@ func (tr *Trajectory) Length() float64 {
 // Positions returns just the way-point positions, the form the collision
 // checker consumes.
 func (tr *Trajectory) Positions() []geom.Vec3 {
-	ps := make([]geom.Vec3, len(tr.Points))
-	for i, w := range tr.Points {
-		ps[i] = w.Pos
+	return tr.AppendPositions(nil)
+}
+
+// AppendPositions appends the way-point positions to dst and returns the
+// extended slice, letting per-tick callers reuse one scratch buffer instead
+// of allocating a fresh slice every invocation.
+func (tr *Trajectory) AppendPositions(dst []geom.Vec3) []geom.Vec3 {
+	for _, w := range tr.Points {
+		dst = append(dst, w.Pos)
 	}
-	return ps
+	return dst
 }
 
 // CollisionChecker abstracts the occupancy queries planners make against the

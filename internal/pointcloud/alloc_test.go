@@ -1,0 +1,50 @@
+package pointcloud
+
+import (
+	"testing"
+
+	"mavfi/internal/testutil"
+)
+
+// TestGenerateIntoSteadyStateAllocFree pins the PR2 buffer-reuse contract:
+// regenerating a cloud into a warmed scratch Cloud must allocate nothing.
+func TestGenerateIntoSteadyStateAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are meaningless under -race instrumentation")
+	}
+	img := captureFrame()
+	g := NewGenerator()
+	dst := &Cloud{}
+	g.GenerateInto(dst, img, nil) // warm the point buffer
+	if allocs := testing.AllocsPerRun(50, func() {
+		g.GenerateInto(dst, img, nil)
+	}); allocs != 0 {
+		t.Fatalf("steady-state GenerateInto allocates %v objects per frame, want 0", allocs)
+	}
+}
+
+// TestGenerateIntoMatchesGenerate checks buffer reuse changes nothing about
+// the produced cloud, even when the scratch held a bigger previous cloud.
+func TestGenerateIntoMatchesGenerate(t *testing.T) {
+	img := captureFrame()
+	g := NewGenerator()
+	fresh := g.Generate(img, nil)
+
+	reused := &Cloud{T: 99}
+	g.GenerateInto(reused, img, nil)
+	g.GenerateInto(reused, img, nil)
+	if reused.T != 0 {
+		t.Errorf("GenerateInto left stale T=%v, want 0", reused.T)
+	}
+	if reused.Origin != fresh.Origin {
+		t.Errorf("origin mismatch: %v vs %v", reused.Origin, fresh.Origin)
+	}
+	if len(reused.Points) != len(fresh.Points) {
+		t.Fatalf("point count mismatch: %d vs %d", len(reused.Points), len(fresh.Points))
+	}
+	for i := range fresh.Points {
+		if fresh.Points[i] != reused.Points[i] {
+			t.Fatalf("point %d mismatch: %v vs %v", i, fresh.Points[i], reused.Points[i])
+		}
+	}
+}

@@ -42,11 +42,23 @@ func NewGenerator() *Generator {
 // kernel: its per-point range computation is a fault-injection site in the
 // campaign (see internal/faultinject).
 func (g *Generator) Generate(img *sim.DepthImage, corrupt func(depth float64) float64) *Cloud {
+	c := &Cloud{}
+	g.GenerateInto(c, img, corrupt)
+	return c
+}
+
+// GenerateInto converts a depth image to a point cloud in dst, reusing dst's
+// point buffer. The steady-state mission loop holds one scratch Cloud per
+// mission and regenerates it allocation-free each frame; results are
+// identical to Generate. dst.T is reset to zero, matching a fresh Cloud.
+func (g *Generator) GenerateInto(dst *Cloud, img *sim.DepthImage, corrupt func(depth float64) float64) {
 	stride := g.Stride
 	if stride < 1 {
 		stride = 1
 	}
-	c := &Cloud{Origin: img.Pos}
+	dst.T = 0
+	dst.Origin = img.Pos
+	dst.Points = dst.Points[:0]
 	for r := 0; r < img.Rows; r += stride {
 		for col := 0; col < img.Cols; col += stride {
 			depth := img.At(r, col)
@@ -62,10 +74,9 @@ func (g *Generator) Generate(img *sim.DepthImage, corrupt func(depth float64) fl
 				hit = false
 			}
 			dir := img.Ray(r, col)
-			c.Points = append(c.Points, Point{P: img.Pos.Add(dir.Scale(depth)), Hit: hit})
+			dst.Points = append(dst.Points, Point{P: img.Pos.Add(dir.Scale(depth)), Hit: hit})
 		}
 	}
-	return c
 }
 
 // Centroid returns the mean of all hit points, a cheap summary used by

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/env"
+	"mavfi/internal/geom"
+	"mavfi/internal/testutil"
+)
+
+// TestCaptureIntoSteadyStateAllocFree pins the PR2 buffer-reuse contract:
+// once a mission's scratch DepthImage has been captured into once, every
+// further capture must allocate nothing.
+func TestCaptureIntoSteadyStateAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are meaningless under -race instrumentation")
+	}
+	w := wallWorld()
+	cam := DefaultDepthCamera()
+	rng := rand.New(rand.NewSource(1))
+	img := &DepthImage{}
+	cam.CaptureInto(img, w, geom.V(10, 50, 5), 0, rng) // warm: buffers + tables
+	pos := geom.V(10, 50, 5)
+	if allocs := testing.AllocsPerRun(50, func() {
+		cam.CaptureInto(img, w, pos, 0.1, rng)
+	}); allocs != 0 {
+		t.Fatalf("steady-state CaptureInto allocates %v objects per frame, want 0", allocs)
+	}
+}
+
+// TestCaptureIntoMatchesCapture checks the buffer-reusing path renders the
+// same frame as the allocating one, including cached ray directions.
+func TestCaptureIntoMatchesCapture(t *testing.T) {
+	w := wallWorld()
+	cam := DefaultDepthCamera()
+	fresh := cam.Capture(w, geom.V(10, 50, 5), 0.3, nil)
+	reused := &DepthImage{}
+	// Dirty the scratch with a different pose first.
+	cam.CaptureInto(reused, w, geom.V(20, 20, 2), 1.1, nil)
+	cam.CaptureInto(reused, w, geom.V(10, 50, 5), 0.3, nil)
+	if len(fresh.Depth) != len(reused.Depth) {
+		t.Fatalf("depth length mismatch: %d vs %d", len(fresh.Depth), len(reused.Depth))
+	}
+	for i := range fresh.Depth {
+		if fresh.Depth[i] != reused.Depth[i] {
+			t.Fatalf("pixel %d: fresh %v, reused %v", i, fresh.Depth[i], reused.Depth[i])
+		}
+	}
+	for r := 0; r < cam.Rows; r++ {
+		for col := 0; col < cam.Cols; col++ {
+			if fresh.Ray(r, col) != reused.Ray(r, col) {
+				t.Fatalf("ray (%d,%d) mismatch", r, col)
+			}
+		}
+	}
+}
+
+// TestRayFallbackMatchesCachedDirs: a manually constructed DepthImage (no
+// cached directions) must compute the same rays Capture caches.
+func TestRayFallbackMatchesCachedDirs(t *testing.T) {
+	cam := DefaultDepthCamera()
+	img := cam.Capture(wallWorld(), geom.V(10, 50, 5), 0.7, nil)
+	bare := &DepthImage{
+		Rows: img.Rows, Cols: img.Cols,
+		HFOV: img.HFOV, VFOV: img.VFOV,
+		MaxRange: img.MaxRange,
+		Pos:      img.Pos, Yaw: img.Yaw,
+		Depth: img.Depth,
+	}
+	for r := 0; r < img.Rows; r++ {
+		for col := 0; col < img.Cols; col++ {
+			if img.Ray(r, col) != bare.Ray(r, col) {
+				t.Fatalf("cached ray (%d,%d) %v != computed %v", r, col, img.Ray(r, col), bare.Ray(r, col))
+			}
+		}
+	}
+}
+
+func wallWorld() *env.World {
+	return &env.World{
+		Name:   "wall",
+		Bounds: geom.Box(geom.V(0, 0, 0), geom.V(100, 100, 20)),
+		Obstacles: []geom.AABB{
+			geom.Box(geom.V(30, 0, 0), geom.V(32, 100, 20)),
+		},
+		Start: geom.V(10, 50, 0), Goal: geom.V(90, 50, 2), GoalTolerance: 1,
+	}
+}

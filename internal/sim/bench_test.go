@@ -1,0 +1,24 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// BenchmarkCaptureInto measures the steady-state depth-frame render: table-
+// driven ray setup plus world raycasts into reused buffers.
+func BenchmarkCaptureInto(b *testing.B) {
+	w := wallWorld()
+	cam := DefaultDepthCamera()
+	rng := rand.New(rand.NewSource(2))
+	img := &DepthImage{}
+	pos := geom.V(10, 50, 5)
+	cam.CaptureInto(img, w, pos, 0, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cam.CaptureInto(img, w, pos, 0.1, rng)
+	}
+}

@@ -18,11 +18,19 @@ type DepthImage struct {
 	Pos        geom.Vec3
 	Yaw        float64
 	Depth      []float64
+
+	// dirs caches the per-pixel world-frame ray directions Capture computed,
+	// so downstream kernels (point-cloud generation) reuse them instead of
+	// redoing the trigonometry.
+	dirs []geom.Vec3
 }
 
 // Ray returns the unit direction of the (row, col) pixel's ray in the world
 // frame.
 func (d *DepthImage) Ray(row, col int) geom.Vec3 {
+	if d.dirs != nil {
+		return d.dirs[row*d.Cols+col]
+	}
 	az := d.Yaw + (float64(col)/float64(d.Cols-1)-0.5)*d.HFOV
 	el := (0.5 - float64(row)/float64(d.Rows-1)) * d.VFOV
 	ce := math.Cos(el)
@@ -38,6 +46,47 @@ type DepthCamera struct {
 	HFOV, VFOV float64 // radians
 	MaxRange   float64
 	NoiseStd   float64 // multiplicative range noise σ (fraction of range)
+
+	// tab caches the per-row elevation and per-column azimuth-offset tables;
+	// built lazily on first capture for the current geometry.
+	tab *camTables
+}
+
+// camTables holds the capture-loop constants that depend only on the camera
+// geometry, not the pose: the elevation trigonometry of each pixel row and
+// the azimuth offset of each pixel column. The entries are computed with the
+// exact float expressions the per-pixel path uses, so cached captures are
+// bit-identical to uncached ones.
+type camTables struct {
+	rows, cols   int
+	hfov, vfov   float64
+	sinEl, cosEl []float64 // per row
+	azOff        []float64 // per column, added to the pose yaw
+}
+
+// tables returns the geometry tables, (re)building them when the camera
+// configuration changed.
+func (c *DepthCamera) tables() *camTables {
+	t := c.tab
+	if t != nil && t.rows == c.Rows && t.cols == c.Cols && t.hfov == c.HFOV && t.vfov == c.VFOV {
+		return t
+	}
+	t = &camTables{
+		rows: c.Rows, cols: c.Cols, hfov: c.HFOV, vfov: c.VFOV,
+		sinEl: make([]float64, c.Rows),
+		cosEl: make([]float64, c.Rows),
+		azOff: make([]float64, c.Cols),
+	}
+	for r := 0; r < c.Rows; r++ {
+		el := (0.5 - float64(r)/float64(c.Rows-1)) * c.VFOV
+		t.sinEl[r] = math.Sin(el)
+		t.cosEl[r] = math.Cos(el)
+	}
+	for col := 0; col < c.Cols; col++ {
+		t.azOff[col] = (float64(col)/float64(c.Cols-1) - 0.5) * c.HFOV
+	}
+	c.tab = t
+	return t
 }
 
 // DefaultDepthCamera returns a low-resolution depth camera sized for the
@@ -55,17 +104,39 @@ func DefaultDepthCamera() DepthCamera {
 
 // Capture renders a depth frame of world w from position pos at heading yaw.
 // rng supplies the range noise; a nil rng captures noise-free frames.
-func (c DepthCamera) Capture(w *env.World, pos geom.Vec3, yaw float64, rng *rand.Rand) *DepthImage {
-	img := &DepthImage{
-		Rows: c.Rows, Cols: c.Cols,
-		HFOV: c.HFOV, VFOV: c.VFOV,
-		MaxRange: c.MaxRange,
-		Pos:      pos, Yaw: yaw,
-		Depth: make([]float64, c.Rows*c.Cols),
+func (c *DepthCamera) Capture(w *env.World, pos geom.Vec3, yaw float64, rng *rand.Rand) *DepthImage {
+	img := &DepthImage{}
+	c.CaptureInto(img, w, pos, yaw, rng)
+	return img
+}
+
+// CaptureInto renders a depth frame into img, reusing its depth and
+// ray-direction buffers when their capacity suffices. The steady-state
+// mission loop holds one scratch DepthImage per mission and captures every
+// frame into it allocation-free; results are bit-identical to Capture.
+func (c *DepthCamera) CaptureInto(img *DepthImage, w *env.World, pos geom.Vec3, yaw float64, rng *rand.Rand) {
+	img.Rows, img.Cols = c.Rows, c.Cols
+	img.HFOV, img.VFOV = c.HFOV, c.VFOV
+	img.MaxRange = c.MaxRange
+	img.Pos, img.Yaw = pos, yaw
+	n := c.Rows * c.Cols
+	if cap(img.Depth) < n {
+		img.Depth = make([]float64, n)
+	} else {
+		img.Depth = img.Depth[:n]
 	}
+	if cap(img.dirs) < n {
+		img.dirs = make([]geom.Vec3, n)
+	} else {
+		img.dirs = img.dirs[:n]
+	}
+	tab := c.tables()
 	for r := 0; r < c.Rows; r++ {
+		se, ce := tab.sinEl[r], tab.cosEl[r]
 		for col := 0; col < c.Cols; col++ {
-			dir := img.Ray(r, col)
+			az := yaw + tab.azOff[col]
+			dir := geom.V(ce*math.Cos(az), ce*math.Sin(az), se)
+			img.dirs[r*c.Cols+col] = dir
 			dist := w.Raycast(pos, dir, c.MaxRange)
 			if rng != nil && c.NoiseStd > 0 && dist < c.MaxRange {
 				dist *= 1 + rng.NormFloat64()*c.NoiseStd
@@ -79,7 +150,6 @@ func (c DepthCamera) Capture(w *env.World, pos geom.Vec3, yaw float64, rng *rand
 			img.Depth[r*c.Cols+col] = dist
 		}
 	}
-	return img
 }
 
 // IMUReading is one inertial sample.

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by test files, currently the
+// race-detector sentinel that lets allocation-regression tests skip under
+// -race (instrumentation inserts its own allocations, so AllocsPerRun
+// numbers are only meaningful in uninstrumented builds).
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = false
