@@ -1,0 +1,158 @@
+// Command docscheck is the CI documentation gate. It fails (exit 1) when
+//
+//   - any package under internal/ lacks a godoc package comment (every
+//     package must say which MAVFI paper stage it reproduces — the
+//     convention docs/ARCHITECTURE.md builds on), or
+//   - any relative Markdown link in the repo's *.md files (root and docs/)
+//     points at a file that does not exist.
+//
+// External links (http/https/mailto), pure anchors, and links that resolve
+// outside the repository root (GitHub-web paths like the CI badge's
+// ../../actions/...) are not validated — there is no network in CI and no
+// local file to check.
+//
+// Usage: go run ./cmd/docscheck [-root dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, checkPackageComments(*root)...)
+	problems = append(problems, checkMarkdownLinks(*root)...)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// checkPackageComments requires every package under internal/ (at any
+// nesting depth) to carry a package comment on at least one of its non-test
+// files.
+func checkPackageComments(root string) []string {
+	var problems []string
+	internalDir := filepath.Join(root, "internal")
+	var dirs []string
+	err := filepath.WalkDir(internalDir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: walking %s: %v", internalDir, err)}
+	}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil || len(files) == 0 {
+			continue
+		}
+		documented := false
+		checked := 0
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			checked++
+			// PackageClauseOnly keeps the parse cheap; it still attaches the
+			// package doc comment.
+			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: parse error: %v", f, err))
+				continue
+			}
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if checked > 0 && !documented {
+			rel, relErr := filepath.Rel(root, dir)
+			if relErr != nil {
+				rel = dir
+			}
+			problems = append(problems,
+				fmt.Sprintf("%s: missing a godoc package comment (add `// Package %s ...` to one file)",
+					filepath.ToSlash(rel), filepath.Base(dir)))
+		}
+	}
+	return problems
+}
+
+// mdLink matches inline Markdown links/images: [text](target). Reference
+// definitions and autolinks are rare in this repo and intentionally out of
+// scope.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkMarkdownLinks validates relative link targets in root-level *.md
+// files and everything under docs/.
+func checkMarkdownLinks(root string) []string {
+	var files []string
+	rootMD, _ := filepath.Glob(filepath.Join(root, "*.md"))
+	files = append(files, rootMD...)
+	_ = filepath.WalkDir(filepath.Join(root, "docs"), func(p string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(p, ".md") {
+			files = append(files, p)
+		}
+		return nil
+	})
+
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: resolving root: %v", err)}
+	}
+	var problems []string
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", f, err))
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if target == "" ||
+				strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(f), filepath.FromSlash(target))
+			abs, err := filepath.Abs(resolved)
+			if err != nil || !strings.HasPrefix(abs, absRoot+string(filepath.Separator)) {
+				continue // escapes the repo (e.g. GitHub-web badge paths)
+			}
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q", f, m[1]))
+			}
+		}
+	}
+	return problems
+}

@@ -10,6 +10,17 @@
 // order. Per-worker statistics accumulate lock-free into worker-local
 // stats.Welford states that are combined with Welford.Merge (Chan et al.)
 // after the pool drains.
+//
+// Sharing model: the one structure all shards share is the campaign's
+// env.World — its uniform-grid obstacle index is built by the first sensor
+// query under sync.Once and is strictly read-only afterwards, so every
+// parallel mission raycasts against a single index and World.Obstacles must
+// not be mutated once a campaign has started. Everything mutable is
+// per-mission: detectors are cloned per mission (detect.GAD.Clone,
+// detect.AAD.Clone / nn.CloneForInference), and each mission owns its
+// runner, octree, scratch buffers, and RNG streams. See
+// docs/ARCHITECTURE.md ("Campaign concurrency invariants") for the full
+// list these workers rely on.
 package campaign
 
 import (

@@ -29,3 +29,27 @@ func TestInsertCloudSteadyStateAllocFree(t *testing.T) {
 		t.Fatalf("steady-state InsertCloud allocates %v objects per scan, want 0", allocs)
 	}
 }
+
+// TestCollisionQueriesAllocFree pins the PR3 contract on the query side: the
+// DDA segment queries and the armed classification cache allocate nothing
+// per probe (the cache grid is a one-time EnableClassCache allocation).
+func TestCollisionQueriesAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are meaningless under -race instrumentation")
+	}
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(32, 32, 16))
+	tr := New(bounds, 0.5, DefaultParams())
+	rng := rand.New(rand.NewSource(4))
+	origin := geom.V(16, 16, 8)
+	tr.InsertCloud(origin, randomScan(rng, origin, 300))
+	tr.EnableClassCache()
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	a, b := geom.V(3, 3, 3), geom.V(29, 28, 9)
+	if allocs := testing.AllocsPerRun(50, func() {
+		tr.SegmentFree(a, b, q)
+		tr.FirstBlocked(a, b, q)
+		tr.PointFree(a, q)
+	}); allocs != 0 {
+		t.Fatalf("steady-state collision queries allocate %v objects, want 0", allocs)
+	}
+}

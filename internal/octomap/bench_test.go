@@ -29,6 +29,48 @@ func BenchmarkInsertCloud(b *testing.B) {
 	b.ReportMetric(float64(tr.LeafUpdates())/float64(b.N+1), "leafupdates/scan")
 }
 
+// benchQueryTree builds a scan-saturated map plus a set of planner-like
+// query segments over it.
+func benchQueryTree() (*Tree, [][2]geom.Vec3) {
+	tr, origin, pts := benchScan()
+	tr.InsertCloud(origin, pts)
+	rng := rand.New(rand.NewSource(17))
+	segs := make([][2]geom.Vec3, 256)
+	for i := range segs {
+		a := geom.V(rng.Float64()*56+2, rng.Float64()*56+2, rng.Float64()*16+2)
+		segs[i] = [2]geom.Vec3{a, a.Add(geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()*0.3).Normalize().Scale(3))}
+	}
+	return tr, segs
+}
+
+// BenchmarkSegmentFree measures the DDA segment query on RRT*-edge-length
+// segments, with the per-voxel classification cache armed (the planner
+// configuration).
+func BenchmarkSegmentFree(b *testing.B) {
+	tr, segs := benchQueryTree()
+	tr.EnableClassCache()
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := segs[i%len(segs)]
+		tr.SegmentFree(s[0], s[1], q)
+	}
+}
+
+// BenchmarkFirstBlocked measures the perception-side time-to-collision query.
+func BenchmarkFirstBlocked(b *testing.B) {
+	tr, segs := benchQueryTree()
+	tr.EnableClassCache()
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := segs[i%len(segs)]
+		tr.FirstBlocked(s[0], s[1], q)
+	}
+}
+
 // BenchmarkInsertRayReference measures the per-ray reference path on the
 // identical scan, the before-side of the PR2 batching speedup.
 func BenchmarkInsertRayReference(b *testing.B) {

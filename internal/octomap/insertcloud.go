@@ -11,180 +11,22 @@ type RayPoint struct {
 }
 
 // InsertCloud integrates one whole depth scan sharing a single sensor
-// origin. It produces bit-identical log-odds to calling InsertRay once per
-// point in slice order, but instead of one tree descent per ray step it
-// walks all rays once, groups the hit/miss evidence per unique voxel key —
-// preserving each voxel's delta sequence in ray order, so the clamped
-// log-odds accumulation is reproduced exactly — and then applies one descent
-// per unique voxel. Scans from the same origin overlap heavily near the
-// sensor, so unique voxels number a small fraction of ray steps.
+// origin. It is exactly equivalent to calling InsertRay once per point in
+// slice order — the same integrateRay evidence schedule runs for every ray,
+// so the two paths cannot drift apart — and the equivalence tests pin the
+// resulting log-odds bit-for-bit.
 //
-// The grouping scratch is owned by the Tree and reused across scans;
-// steady-state calls allocate nothing (beyond amortised node-arena growth
-// when the scan observes new space).
+// History: PR 2 implemented this call with a per-voxel grouping layer (walk
+// all rays once, group hit/miss evidence per unique voxel, one descent per
+// unique voxel). PR 2's memoised descent caches then made single descents so
+// cheap that the grouping bookkeeping became pure overhead (~15% of mission
+// time), so PR 3 collapsed it back to the straight per-ray loop — keeping
+// this API as the mission-path batching boundary (and as the place a future
+// grouping layer would slot back in, should descents ever get expensive
+// again). Steady-state calls allocate nothing beyond amortised node-arena
+// growth when the scan observes new space.
 func (t *Tree) InsertCloud(origin geom.Vec3, pts []RayPoint) {
-	if len(pts) == 0 {
-		return
-	}
-	t.scan.begin(t, origin, pts)
 	for i := range pts {
-		t.recordRay(origin, pts[i].End, pts[i].Hit)
+		t.integrateRay(origin, pts[i].End, pts[i].Hit)
 	}
-	t.scan.flush(t)
-}
-
-// recordRay replays the evidence schedule for one ray into the scan batch.
-// The schedule itself lives in integrateRay, shared with InsertRay, so the
-// two paths cannot drift apart.
-func (t *Tree) recordRay(origin, end geom.Vec3, hit bool) {
-	t.integrateRay(origin, end, hit, true)
-}
-
-// scanBatch groups one scan's evidence per unique voxel key. Voxels are
-// looked up through a dense epoch-stamped grid spanning the scan's key-space
-// bounding box (a depth scan is spatially compact — bounded by the sensor
-// range — so the grid stays small and O(1) per lookup, where a hash map
-// would dominate the batching win). Each voxel's deltas form a linked list
-// through the events pool, preserving ray order.
-type scanBatch struct {
-	// Dense voxel→entry grid over the scan's key-space AABB. Each cell
-	// packs an 8-bit epoch stamp with a 24-bit entry index, so the hot
-	// record path touches exactly one cache line per ray step; the grid is
-	// reset only when the epoch counter wraps (every 255 scans).
-	grid             []uint32 // epoch<<24 | entry index
-	epoch            uint32   // 1..255
-	nx, ny, nz       int
-	minX, minY, minZ int
-	entries          []scanEntry
-	events           []scanEvent
-}
-
-// scanEntry is one unique voxel touched by the scan, with its delta list.
-type scanEntry struct {
-	x, y, z    int32
-	head, tail int32
-}
-
-// scanEvent is one evidence application in a voxel's per-scan sequence. An
-// evidence delta is always one of the two sensor-model constants, so a hit
-// flag replaces the float and halves the event traffic.
-type scanEvent struct {
-	next int32
-	hit  bool
-}
-
-// maxScanAxisCells caps the scan grid's extent per axis. A legitimate depth
-// scan is bounded by the sensor range (a 20 m camera spans ≤ 82 half-metre
-// voxels per axis), but a fault-injected point — the octomap kernel is an
-// injection site, so a corrupted endpoint coordinate of ~1e300 is a routine
-// campaign input — would otherwise stretch the bounding box across the
-// whole root volume and balloon the grid to hundreds of megabytes. Axes
-// over the cap are re-centred on the scan origin; voxels outside the capped
-// window take the out-of-grid immediate-apply fallback in record, which
-// preserves per-voxel delta order.
-const maxScanAxisCells = 96
-
-// begin sizes the grid to the scan's key-space bounding box (clipped to the
-// root volume and the per-axis cap, with a one-voxel safety margin) and
-// starts a fresh epoch.
-func (s *scanBatch) begin(t *Tree, origin geom.Vec3, pts []RayPoint) {
-	lo, hi := origin, origin
-	for i := range pts {
-		lo = lo.Min(pts[i].End)
-		hi = hi.Max(pts[i].End)
-	}
-	maxKey := int(t.rootSize/t.resolution) - 1
-	clampKey := func(v float64) int {
-		k := int(v / t.resolution)
-		if k < 0 {
-			return 0
-		}
-		if k > maxKey {
-			return maxKey
-		}
-		return k
-	}
-	rel0, rel1 := lo.Sub(t.origin), hi.Sub(t.origin)
-	s.minX, s.minY, s.minZ = clampKey(rel0.X)-1, clampKey(rel0.Y)-1, clampKey(rel0.Z)-1
-	s.nx = clampKey(rel1.X) + 1 - s.minX + 1
-	s.ny = clampKey(rel1.Y) + 1 - s.minY + 1
-	s.nz = clampKey(rel1.Z) + 1 - s.minZ + 1
-
-	relO := origin.Sub(t.origin)
-	capAxis := func(min, n *int, originKey int) {
-		if *n > maxScanAxisCells {
-			*min = originKey - maxScanAxisCells/2
-			*n = maxScanAxisCells
-		}
-	}
-	capAxis(&s.minX, &s.nx, clampKey(relO.X))
-	capAxis(&s.minY, &s.ny, clampKey(relO.Y))
-	capAxis(&s.minZ, &s.nz, clampKey(relO.Z))
-
-	if need := s.nx * s.ny * s.nz; need > len(s.grid) {
-		s.grid = make([]uint32, need)
-		s.epoch = 0
-	}
-	s.epoch++
-	if s.epoch == 1<<8 { // epoch wrapped: stamps are ambiguous, reset them
-		clear(s.grid)
-		s.epoch = 1
-	}
-	s.entries = s.entries[:0]
-	s.events = s.events[:0]
-}
-
-// record appends one hit/miss application to voxel (x,y,z)'s per-scan
-// sequence.
-func (s *scanBatch) record(t *Tree, x, y, z int, hit bool) {
-	gx, gy, gz := x-s.minX, y-s.minY, z-s.minZ
-	if gx < 0 || gy < 0 || gz < 0 || gx >= s.nx || gy >= s.ny || gz >= s.nz {
-		// Outside the grid (cannot happen for keys on a clipped walk, kept
-		// as a safety net). Applying immediately preserves per-voxel delta
-		// order: a voxel is either always in-grid or always out.
-		if hit {
-			t.updateKey(x, y, z, t.params.LogOddsHit)
-		} else {
-			t.updateKey(x, y, z, t.params.LogOddsMiss)
-		}
-		return
-	}
-	i := (gz*s.ny+gy)*s.nx + gx
-	var e int32
-	if v := s.grid[i]; v>>24 != s.epoch {
-		e = int32(len(s.entries))
-		s.entries = append(s.entries, scanEntry{x: int32(x), y: int32(y), z: int32(z), head: -1, tail: -1})
-		s.grid[i] = s.epoch<<24 | uint32(e)
-	} else {
-		e = int32(v & 0xffffff)
-	}
-	ev := int32(len(s.events))
-	s.events = append(s.events, scanEvent{next: -1, hit: hit})
-	ent := &s.entries[e]
-	if ent.tail >= 0 {
-		s.events[ent.tail].next = ev
-	} else {
-		ent.head = ev
-	}
-	ent.tail = ev
-}
-
-// flush applies every voxel's delta sequence with a single descent per
-// voxel. Entries are replayed in first-touch order, which follows the ray
-// walk and keeps the descent path cache hot.
-func (s *scanBatch) flush(t *Tree) {
-	hitDelta, missDelta := t.params.LogOddsHit, t.params.LogOddsMiss
-	for i := range s.entries {
-		ent := &s.entries[i]
-		n := t.descend(int(ent.x), int(ent.y), int(ent.z))
-		for e := ent.head; e >= 0; e = s.events[e].next {
-			if s.events[e].hit {
-				t.applyDelta(n, hitDelta)
-			} else {
-				t.applyDelta(n, missDelta)
-			}
-		}
-	}
-	s.entries = s.entries[:0]
-	s.events = s.events[:0]
 }

@@ -6,7 +6,16 @@
 // The map deliberately distinguishes three voxel states — occupied, free,
 // and unknown — because the planners treat unknown space optimistically
 // (traversable until observed), which is what lets the pipeline start
-// planning before the map is complete.
+// planning before the map is complete. "Known" is encoded without a flag
+// bit, by the markKnown epsilon convention: a voxel is known iff its
+// log-odds is non-zero, and evidence whose clamped sum lands on exactly 0 is
+// nudged to a 1e-9 epsilon (see applyDelta for the precise guard and why the
+// case cannot arise under the default sensor model).
+//
+// Navigation queries (PointFree, SegmentFree, FirstBlocked) enumerate
+// crossed voxels with the same DDA walk the insertion path uses, and both
+// read and write descents are memoised; see classCache for the per-voxel
+// classification cache the planners arm per plan invocation.
 package octomap
 
 import (
@@ -71,8 +80,8 @@ type Tree struct {
 
 	path pathCache  // memoised write-path descent for coherent updates
 	qry  queryCache // memoised read-path descent for coherent queries
-	mut  uint64     // bumped on every tree mutation; invalidates qry
-	scan scanBatch  // per-scan voxel grouping scratch for InsertCloud
+	mut  uint64     // bumped on every tree mutation; invalidates qry and cls
+	cls  classCache // memoised per-voxel classifications for collision queries
 
 	leafUpdates int // total leaf evidence updates, for overhead accounting
 }
@@ -112,6 +121,34 @@ type queryCache struct {
 	terminal int32
 }
 
+// classCache memoises per-voxel occupancy classifications for the collision
+// query paths (At, PointFree, SegmentFree, FirstBlocked). A planner
+// invocation probes the same voxels hundreds of times — RRT* re-checks
+// overlapping segments from choose-parent, rewiring, and goal connection —
+// and between two scan integrations the map cannot change, so a
+// classification computed once is valid for every later probe of the same
+// voxel. The cache is a dense epoch-stamped byte grid over the leaf keys of
+// the world bounds: one array index replaces a root→leaf descent. Any tree
+// mutation bumps t.mut, which retires the whole epoch in O(1); the stored
+// classifications are exactly what lookup would return, so cached and
+// uncached queries are bit-identical.
+//
+// The grid is allocated on demand by EnableClassCache (the planners arm it
+// through planning.PlanCacher on their first Plan invocation), so trees used
+// only for insertion — detector training, map-building tools — never pay the
+// footprint.
+type classCache struct {
+	grid       []uint8 // epoch<<2 | occupancy; 0 = never written
+	epoch      uint8   // current epoch, 1..63; 0 = not yet started
+	mut        uint64  // tree mutation count the current epoch is valid for
+	nx, ny, nz int     // leaf-key extents of the cached volume (the New bounds)
+}
+
+// maxClassCacheCells caps the classification grid footprint (bytes). The
+// paper's largest world (Farm, 80×80×20 m at 0.5 m) needs ~1M cells; a world
+// over the cap simply runs uncached.
+const maxClassCacheCells = 4 << 20
+
 // New creates a tree covering the axis-aligned cube that contains bounds,
 // with the given leaf resolution in metres.
 func New(bounds geom.AABB, resolution float64, params Params) *Tree {
@@ -138,7 +175,68 @@ func New(bounds geom.AABB, resolution float64, params Params) *Tree {
 		nodes: make([]node, 1, 1<<17),
 	}
 	t.nodes[0] = node{firstChild: noChild}
+	keyExtent := func(side float64) int {
+		n := int(math.Ceil(side / resolution))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	t.cls.nx = keyExtent(size.X)
+	t.cls.ny = keyExtent(size.Y)
+	t.cls.nz = keyExtent(size.Z)
 	return t
+}
+
+// EnableClassCache arms the per-voxel classification cache (see classCache).
+// Idempotent; a no-op when the world bounds exceed the footprint cap.
+// Planning consumers arm it through planning.PlanCacher/BeginPlan.
+func (t *Tree) EnableClassCache() {
+	c := &t.cls
+	if c.grid != nil {
+		return
+	}
+	if cells := c.nx * c.ny * c.nz; cells <= maxClassCacheCells {
+		c.grid = make([]uint8, cells)
+	}
+}
+
+// classify returns the occupancy classification of leaf key (x,y,z),
+// memoised in the classification cache when it is armed and covers the key.
+func (t *Tree) classify(x, y, z int) Occupancy {
+	c := &t.cls
+	if c.grid == nil || x < 0 || y < 0 || z < 0 || x >= c.nx || y >= c.ny || z >= c.nz {
+		return t.classifySlow(x, y, z)
+	}
+	if c.mut != t.mut || c.epoch == 0 {
+		// The tree mutated since this epoch was stamped: retire every cached
+		// entry at once by moving to a fresh epoch.
+		c.mut = t.mut
+		c.epoch++
+		if c.epoch == 1<<6 {
+			clear(c.grid)
+			c.epoch = 1
+		}
+	}
+	i := (z*c.ny+y)*c.nx + x
+	if v := c.grid[i]; v>>2 == c.epoch {
+		return Occupancy(v & 3)
+	}
+	o := t.classifySlow(x, y, z)
+	c.grid[i] = c.epoch<<2 | uint8(o)
+	return o
+}
+
+// classifySlow is the uncached classification: one (path-memoised) descent.
+func (t *Tree) classifySlow(x, y, z int) Occupancy {
+	lo, known := t.lookup(x, y, z)
+	if !known {
+		return Unknown
+	}
+	if lo >= t.params.OccThresh {
+		return Occupied
+	}
+	return Free
 }
 
 // Resolution returns the leaf voxel side length in metres.
@@ -304,14 +402,7 @@ func (t *Tree) At(p geom.Vec3) Occupancy {
 	if !ok {
 		return Occupied
 	}
-	lo, known := t.lookup(x, y, z)
-	if !known {
-		return Unknown
-	}
-	if lo >= t.params.OccThresh {
-		return Occupied
-	}
-	return Free
+	return t.classify(x, y, z)
 }
 
 // Prob returns the occupancy probability of the voxel containing p, and
@@ -349,19 +440,18 @@ func (t *Tree) MarkFree(p geom.Vec3) {
 // attributes its hit evidence to the voxel containing the surface.
 //
 // InsertRay is the per-ray reference path; whole depth scans should go
-// through InsertCloud, which integrates the identical evidence with one tree
-// descent per unique voxel instead of one per ray step.
+// through InsertCloud, which applies the identical per-ray evidence schedule
+// at the natural batching boundary of the mission loop.
 func (t *Tree) InsertRay(origin, end geom.Vec3, hit bool) {
-	t.integrateRay(origin, end, hit, false)
+	t.integrateRay(origin, end, hit)
 }
 
 // integrateRay is the single evidence schedule both insertion paths share:
 // miss evidence along the clipped walk (endpoint voxel excluded), then hit
-// or miss evidence at the endpoint voxel. With batch set, evidence goes into
-// the scan batch for grouped application; otherwise it is applied to the
-// tree immediately. One body means InsertRay and InsertCloud cannot drift
-// apart on the schedule their bit-identical equivalence depends on.
-func (t *Tree) integrateRay(origin, end geom.Vec3, hit, batch bool) {
+// or miss evidence at the endpoint voxel. One body means InsertRay and
+// InsertCloud cannot drift apart on the schedule their bit-identical
+// equivalence depends on.
+func (t *Tree) integrateRay(origin, end geom.Vec3, hit bool) {
 	ex, ey, ez, endOK := t.key(end)
 	var w rayWalker
 	t.startWalk(&w, origin, end)
@@ -373,27 +463,28 @@ func (t *Tree) integrateRay(origin, end geom.Vec3, hit, batch bool) {
 		if endOK && x == ex && y == ey && z == ez {
 			continue // endpoint voxel handled below
 		}
-		if batch {
-			t.scan.record(t, x, y, z, false)
-		} else {
-			t.updateKey(x, y, z, t.params.LogOddsMiss)
-		}
+		t.updateKey(x, y, z, t.params.LogOddsMiss)
 	}
 	if endOK {
-		switch {
-		case batch:
-			t.scan.record(t, ex, ey, ez, hit)
-		case hit:
+		if hit {
 			t.updateKey(ex, ey, ez, t.params.LogOddsHit)
-		default:
+		} else {
 			t.updateKey(ex, ey, ez, t.params.LogOddsMiss)
 		}
 	}
 }
 
 // rayWalker streams the leaf voxel keys a segment crosses, in order, without
-// a per-ray closure allocation. Both InsertRay and InsertCloud traverse
-// through it, so the two paths visit bit-identical voxel sequences.
+// a per-ray closure allocation. The insertion paths (InsertRay, InsertCloud)
+// and the DDA collision queries (SegmentFree, FirstBlocked) all traverse
+// through it, so every segment↔voxel enumeration in the package visits
+// bit-identical voxel sequences.
+//
+// tEntry is the parametric position (in the clipped p0→p1 space) at which
+// the walk entered the voxel most recently yielded by next; segParam maps it
+// back to the caller's original origin→end parameterisation. FirstBlocked
+// uses this to report the exact boundary crossing into the first blocked
+// voxel.
 type rayWalker struct {
 	x, y, z                   int
 	ex, ey, ez                int
@@ -402,21 +493,40 @@ type rayWalker struct {
 	tDeltaX, tDeltaY, tDeltaZ float64
 	steps, maxSteps           int
 	valid                     bool
+	tEntry                    float64 // clipped-space entry of the last yielded voxel
+	tNext                     float64 // clipped-space entry of the upcoming voxel
+	clipLo, clipSpan          float64 // map clipped space back to origin→end space
 }
 
 // startWalk initialises w for the segment origin→end clipped to the root
 // volume; w is invalid (yields no voxels) when the segment misses it.
 func (t *Tree) startWalk(w *rayWalker, origin, end geom.Vec3) {
 	w.valid = false
-	// Clip the segment to the root volume.
-	rootBox := geom.Box(t.origin, t.origin.Add(geom.V(t.rootSize, t.rootSize, t.rootSize)))
-	ok, t0, t1 := rootBox.SegmentIntersection(origin, end)
-	if !ok {
-		return
+	t0, t1 := 0.0, 1.0
+	if _, _, _, okA := t.key(origin); !okA {
+		t0 = -1 // force the slab clip below
+	} else if _, _, _, okB := t.key(end); !okB {
+		t0 = -1
+	}
+	if t0 < 0 {
+		// Clip the segment to the root volume. When both endpoints key
+		// inside the volume the slab method returns exactly (0, 1) — the
+		// fast path above — because the root box is convex and key()
+		// excludes its far faces.
+		rootBox := geom.Box(t.origin, t.origin.Add(geom.V(t.rootSize, t.rootSize, t.rootSize)))
+		var ok bool
+		ok, t0, t1 = rootBox.SegmentIntersection(origin, end)
+		if !ok {
+			return
+		}
 	}
 	d := end.Sub(origin)
 	p0 := origin.Add(d.Scale(t0 + 1e-9))
 	p1 := origin.Add(d.Scale(t1 - 1e-9))
+	w.clipLo = t0 + 1e-9
+	w.clipSpan = (t1 - 1e-9) - w.clipLo
+	w.tEntry = 0
+	w.tNext = 0
 
 	x, y, z, ok := t.key(p0)
 	if !ok {
@@ -449,6 +559,7 @@ func (w *rayWalker) next() (x, y, z int, last, ok bool) {
 	}
 	w.steps++
 	x, y, z = w.x, w.y, w.z
+	w.tEntry = w.tNext
 	if x == w.ex && y == w.ey && z == w.ez {
 		w.valid = false
 		return x, y, z, true, true
@@ -456,15 +567,32 @@ func (w *rayWalker) next() (x, y, z int, last, ok bool) {
 	switch {
 	case w.tMaxX <= w.tMaxY && w.tMaxX <= w.tMaxZ:
 		w.x += w.stepX
+		w.tNext = w.tMaxX
 		w.tMaxX += w.tDeltaX
 	case w.tMaxY <= w.tMaxZ:
 		w.y += w.stepY
+		w.tNext = w.tMaxY
 		w.tMaxY += w.tDeltaY
 	default:
 		w.z += w.stepZ
+		w.tNext = w.tMaxZ
 		w.tMaxZ += w.tDeltaZ
 	}
 	return x, y, z, false, true
+}
+
+// segParam maps a clipped-walk parameter (0 at the clipped start, 1 at the
+// clipped end) back to the caller's origin→end parameterisation, clamped to
+// [0,1].
+func (w *rayWalker) segParam(s float64) float64 {
+	f := w.clipLo + s*w.clipSpan
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
 }
 
 // walkRay visits every leaf voxel key from origin to end in order, flagging

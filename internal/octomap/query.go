@@ -30,12 +30,20 @@ func (q QueryPolicy) blocked(o Occupancy) bool {
 	}
 }
 
+// probeOffsets returns the 6 face-adjacent probe offsets at radius r. The
+// collision radius is applied by probing the centre plus these offsets — an
+// O(7) approximation of the swept sphere. Mapped structures thinner than the
+// voxel pitch can slip between probes; real obstacles integrate as
+// multi-voxel surfaces, for which the probe set is reliable.
+func probeOffsets(r float64) [6]geom.Vec3 {
+	return [6]geom.Vec3{
+		{X: r}, {X: -r}, {Y: r}, {Y: -r}, {Z: r}, {Z: -r},
+	}
+}
+
 // PointFree reports whether a vehicle centred at p fits in the map under the
-// policy. The collision radius is applied by probing the centre voxel plus
-// the 6 face-adjacent probes at the radius — an O(7) approximation of the
-// swept sphere. Mapped structures thinner than the voxel pitch can slip
-// between probes; real obstacles integrate as multi-voxel surfaces, for
-// which the probe set is reliable.
+// policy (centre voxel plus the 6 probe voxels at the radius; see
+// probeOffsets).
 func (t *Tree) PointFree(p geom.Vec3, q QueryPolicy) bool {
 	if q.blocked(t.At(p)) {
 		return false
@@ -43,11 +51,7 @@ func (t *Tree) PointFree(p geom.Vec3, q QueryPolicy) bool {
 	if q.Radius <= 0 {
 		return true
 	}
-	r := q.Radius
-	probes := [6]geom.Vec3{
-		{X: r}, {X: -r}, {Y: r}, {Y: -r}, {Z: r}, {Z: -r},
-	}
-	for _, d := range probes {
+	for _, d := range probeOffsets(q.Radius) {
 		if q.blocked(t.At(p.Add(d))) {
 			return false
 		}
@@ -56,31 +60,134 @@ func (t *Tree) PointFree(p geom.Vec3, q QueryPolicy) bool {
 }
 
 // SegmentFree reports whether the segment a→b is traversable under the
-// policy, sampling at half-resolution spacing.
+// policy: for the centre ray and each of the 6 probe-offset rays, every leaf
+// voxel the ray crosses must be unblocked and the ray must stay inside the
+// mapped volume (out-of-volume space is Occupied, as in At).
+//
+// Each offset ray is enumerated with the same 3-D DDA voxel walk the
+// insertion path uses, visiting each crossed voxel exactly once. This is the
+// continuous-collision refinement of the pre-PR3 implementation, which
+// sampled PointFree at half-resolution spacing (~2 probes per crossed voxel)
+// and could step over a voxel the segment only grazes.
 func (t *Tree) SegmentFree(a, b geom.Vec3, q QueryPolicy) bool {
-	dist := a.Dist(b)
-	step := t.resolution / 2
-	n := int(math.Ceil(dist/step)) + 1
-	for i := 0; i <= n; i++ {
-		if !t.PointFree(a.Lerp(b, float64(i)/float64(n)), q) {
+	if !t.rayFree(a, b, q) {
+		return false
+	}
+	if q.Radius <= 0 {
+		return true
+	}
+	for _, d := range probeOffsets(q.Radius) {
+		if !t.rayFree(a.Add(d), b.Add(d), q) {
 			return false
 		}
 	}
 	return true
 }
 
-// FirstBlocked walks from a toward b and returns the parametric position
-// t ∈ [0,1] of the first blocked sample, or ok=false when the whole segment
-// is traversable. The perception stage uses this for time-to-collision.
-func (t *Tree) FirstBlocked(a, b geom.Vec3, q QueryPolicy) (frac float64, ok bool) {
-	dist := a.Dist(b)
-	step := t.resolution / 2
-	n := int(math.Ceil(dist/step)) + 1
-	for i := 0; i <= n; i++ {
-		f := float64(i) / float64(n)
-		if !t.PointFree(a.Lerp(b, f), q) {
-			return f, true
+// rayFree reports whether every voxel crossed by the single segment a→b is
+// unblocked, with the whole segment inside the mapped volume.
+func (t *Tree) rayFree(a, b geom.Vec3, q QueryPolicy) bool {
+	ax, ay, az, aIn := t.key(a)
+	if !aIn {
+		return false
+	}
+	if _, _, _, bIn := t.key(b); !bIn {
+		// The volume is convex: an endpoint outside means part of the
+		// segment crosses out-of-volume (Occupied) space.
+		return false
+	}
+	if q.blocked(t.classify(ax, ay, az)) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	maxKey := int(t.rootSize / t.resolution)
+	var w rayWalker
+	t.startWalk(&w, a, b)
+	for {
+		x, y, z, _, ok := w.next()
+		if !ok {
+			return true
 		}
+		if w.tEntry > 1+1e-9 || x < 0 || y < 0 || z < 0 || x >= maxKey || y >= maxKey || z >= maxKey {
+			// Walker overshoot artifact, not a crossed voxel: a near-zero
+			// axis delta below the DDA threshold (step 0) with endpoints
+			// straddling that axis's voxel boundary makes the end key
+			// unreachable, and the walk spends its defensive step budget
+			// drifting past the segment end (a genuinely crossed voxel is
+			// entered at parameter ≤ 1 and in-range, and the end voxel
+			// terminates the walk before either guard can trip).
+			return true
+		}
+		if q.blocked(t.classify(x, y, z)) {
+			return false
+		}
+	}
+}
+
+// FirstBlocked walks from a toward b and returns the parametric position
+// frac ∈ [0,1] at which the vehicle first collides — the exact boundary
+// crossing into the earliest blocked voxel across the centre ray and the 6
+// probe-offset rays — or ok=false when the whole segment is traversable.
+// The perception stage uses this for time-to-collision.
+//
+// Like SegmentFree, each ray is a DDA voxel walk rather than the pre-PR3
+// half-resolution sampling; frac is the true voxel-boundary crossing instead
+// of the first blocked sample position (which lagged the boundary by up to
+// half a sample spacing).
+func (t *Tree) FirstBlocked(a, b geom.Vec3, q QueryPolicy) (frac float64, ok bool) {
+	first := math.Inf(1)
+	if f, blocked := t.rayFirstBlocked(a, b, q); blocked {
+		first = f
+	}
+	if q.Radius > 0 {
+		for _, d := range probeOffsets(q.Radius) {
+			if f, blocked := t.rayFirstBlocked(a.Add(d), b.Add(d), q); blocked && f < first {
+				first = f
+			}
+		}
+	}
+	if math.IsInf(first, 1) {
+		return 0, false
+	}
+	return first, true
+}
+
+// rayFirstBlocked returns the parametric position along the single segment
+// a→b at which the ray first enters blocked (or out-of-volume) space, and
+// whether any such position exists.
+func (t *Tree) rayFirstBlocked(a, b geom.Vec3, q QueryPolicy) (float64, bool) {
+	ax, ay, az, aIn := t.key(a)
+	if !aIn {
+		return 0, true // starts in out-of-volume (Occupied) space
+	}
+	if q.blocked(t.classify(ax, ay, az)) {
+		return 0, true // starts inside a blocked voxel
+	}
+	if a == b {
+		return 0, false
+	}
+	maxKey := int(t.rootSize / t.resolution)
+	var w rayWalker
+	t.startWalk(&w, a, b)
+	for {
+		x, y, z, _, ok := w.next()
+		if !ok {
+			break
+		}
+		if w.tEntry > 1+1e-9 || x < 0 || y < 0 || z < 0 || x >= maxKey || y >= maxKey || z >= maxKey {
+			break // walker overshoot artifact; see rayFree
+		}
+		if q.blocked(t.classify(x, y, z)) {
+			return w.segParam(w.tEntry), true
+		}
+	}
+	if _, _, _, bIn := t.key(b); !bIn {
+		// The walk ran clean to the volume boundary, but the segment exits
+		// the volume there: the crossing into out-of-volume space is the
+		// first collision.
+		return w.segParam(1), true
 	}
 	return 0, false
 }

@@ -1,0 +1,69 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/env"
+	"mavfi/internal/geom"
+	"mavfi/internal/octomap"
+	"mavfi/internal/planning"
+	"mavfi/internal/pointcloud"
+	"mavfi/internal/sim"
+)
+
+// benchPlannerSetup builds the exact planner-facing stack a mission uses —
+// an OctoMap populated by real depth scans through the perception kernels,
+// wrapped in the altitude-banded mapAdapter — so BenchmarkPlan measures the
+// planner against the same map query path RunMission exercises.
+func benchPlannerSetup(b *testing.B) (*planning.RRTStar, *mapAdapter, geom.Vec3, geom.Vec3) {
+	b.Helper()
+	w := env.Sparse(rand.New(rand.NewSource(42)))
+	tree := octomap.New(w.Bounds, 0.5, octomap.DefaultParams())
+	cam := sim.DefaultDepthCamera()
+	gen := pointcloud.NewGenerator()
+	rng := rand.New(rand.NewSource(7))
+	frame := &sim.DepthImage{}
+	cloud := &pointcloud.Cloud{}
+	var scan []octomap.RayPoint
+	// Map the world from a sweep of poses along the start→goal line, as the
+	// mission's map cadence would.
+	for i := 0; i < 12; i++ {
+		f := float64(i) / 11
+		pos := w.Start.Lerp(w.Goal, f)
+		pos.Z = 2.5
+		for _, yaw := range []float64{0, 1.6, 3.1, 4.7} {
+			cam.CaptureInto(frame, w, pos, yaw, rng)
+			gen.GenerateInto(cloud, frame, nil)
+			scan = scan[:0]
+			for _, p := range cloud.Points {
+				scan = append(scan, octomap.RayPoint{End: p.P, Hit: p.Hit})
+			}
+			tree.InsertCloud(cloud.Origin, scan)
+		}
+	}
+	adapter := &mapAdapter{
+		tree:   tree,
+		policy: octomap.QueryPolicy{UnknownIsFree: true, Radius: 0.5},
+		zMin:   1.2,
+		zMax:   w.Bounds.Max.Z - 1,
+	}
+	start := geom.V(w.Start.X, w.Start.Y, 2.5)
+	goal := geom.V(w.Goal.X, w.Goal.Y, 2.5)
+	return planning.NewRRTStar(planning.DefaultConfig(w.Bounds)), adapter, start, goal
+}
+
+// BenchmarkPlan measures one RRT* invocation over a scan-built map — the
+// planning-stage unit cost the PR3 DDA queries and per-plan voxel cache
+// target (compare BenchmarkMission for the mission-level effect).
+func BenchmarkPlan(b *testing.B) {
+	p, adapter, start, goal := benchPlannerSetup(b)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Plan(start, goal, adapter, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,17 +20,31 @@ import (
 var printGolden = flag.Bool("golden.print", false, "print golden mission digests instead of asserting")
 
 // goldenDigests pins the bit-exact closed-loop behaviour of the pipeline.
-// The values were recorded on the pre-PR2 per-ray/linear-scan implementation;
-// the PR2 perf overhaul (batched octree insertion, world raycast
-// acceleration, reusable frame buffers) must reproduce every one of them
-// bit-for-bit — performance work is not allowed to move a single float.
+// Performance work is not allowed to move a single float unless it changes
+// collision *semantics* deliberately — and then the change must be justified
+// in writing and re-pinned here in the same commit.
+//
+// History: the values were recorded on the pre-PR2 per-ray/linear-scan
+// implementation and survived the whole PR2 perf overhaul (batched octree
+// insertion, world raycast acceleration, reusable frame buffers) bit-for-bit.
+// PR3 replaced the half-resolution *sampled* SegmentFree/FirstBlocked probes
+// with exact DDA voxel walks — a deliberate semantic refinement (the DDA
+// visits voxels the sampler could step over, and reports the true boundary
+// crossing rather than the first blocked sample; see
+// docs/ARCHITECTURE.md#why-the-pr3-golden-digests-changed). Three digests
+// moved (factory/seed1, factory/seed2, dense/seed1 — the obstacle-dense
+// scenes where grazing voxels and time-to-collision fractions actually
+// differ); the other five, including both fault-injection cases, were
+// reproduced bit-for-bit, which is also the evidence that PR3's insertion
+// collapse and per-voxel classification cache are pure (bit-identical)
+// optimisations.
 var goldenDigests = map[string]uint64{
-	"factory/seed1":      0xecac2f47eaa2557e,
-	"factory/seed2":      0x35ca67344d988eaf,
+	"factory/seed1":      0x02f815ecc9e79645,
+	"factory/seed2":      0x6ac091f49e2c6697,
 	"farm/seed1":         0xcbd2b17e0f664511,
 	"sparse/seed1":       0x638ff8094c591611,
 	"sparse/seed9":       0x3f738736f93af69f,
-	"dense/seed1":        0xb4870e0d3892dff8,
+	"dense/seed1":        0x59f0405c653c488f,
 	"sparse/kernelfault": 0xdd31d90a1ff9da17,
 	"sparse/statefault":  0xe07395feff066db9,
 }
@@ -86,8 +100,9 @@ func goldenCases() map[string]pipeline.Config {
 	}
 }
 
-// TestGoldenMissionDigest is the PR2 bit-identity gate: fixed-seed missions
-// must produce results identical to the pre-optimisation implementation.
+// TestGoldenMissionDigest is the bit-identity gate: fixed-seed missions must
+// produce results identical to the pinned implementation (see goldenDigests
+// for what is pinned and when re-pinning is legitimate).
 func TestGoldenMissionDigest(t *testing.T) {
 	for name, cfg := range goldenCases() {
 		t.Run(name, func(t *testing.T) {

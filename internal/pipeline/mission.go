@@ -21,12 +21,22 @@ import (
 
 // mapAdapter exposes the OctoMap to the motion planners through the
 // planning.CollisionChecker interface, restricted to the planning altitude
-// band.
+// band. It also implements planning.PlanCacher: the first Plan invocation
+// arms the tree's per-voxel classification cache, which then serves every
+// collision probe — planner and perception alike — until the next scan
+// integration invalidates it (the cache is keyed on the tree's mutation
+// counter, so the "map cannot mutate mid-plan" invariant is enforced rather
+// than assumed).
 type mapAdapter struct {
 	tree   *octomap.Tree
 	policy octomap.QueryPolicy
 	zMin   float64
 	zMax   float64
+}
+
+// BeginPlan implements planning.PlanCacher.
+func (a *mapAdapter) BeginPlan() {
+	a.tree.EnableClassCache()
 }
 
 func (a *mapAdapter) PointFree(p geom.Vec3) bool {

@@ -1,6 +1,13 @@
 // Package pointcloud implements the Point Cloud Generation kernel: the first
 // perception-stage compute kernel, converting an RGB-D depth frame into a
 // world-frame point cloud that feeds the OctoMap generation kernel.
+//
+// Buffer ownership (the PR 2 zero-alloc contract): Generator.GenerateInto
+// writes into a caller-owned Cloud, reusing its Points slice across frames —
+// the mirror of sim.DepthCamera.CaptureInto on the input side. The previous
+// cloud's points are invalid after the next GenerateInto on the same Cloud;
+// the pipeline reuses one Cloud per mission because topic delivery is
+// synchronous and nothing retains the message after Publish returns.
 package pointcloud
 
 import (

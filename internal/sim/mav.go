@@ -5,6 +5,14 @@
 // model. The PPC pipeline consumes sensor output and produces velocity
 // flight commands, exactly like the companion computer in the paper's
 // hardware-in-the-loop setup.
+//
+// Buffer ownership (the PR 2 zero-alloc contract): DepthCamera.CaptureInto
+// renders into a caller-owned DepthImage, reusing its Depth slice across
+// frames. The caller must not retain the previous frame's contents past the
+// next CaptureInto on the same image; the pipeline gets away with one image
+// per mission because topic delivery is synchronous and no subscriber holds
+// a frame after Publish returns. Buffers are per mission, never shared
+// between parallel campaign workers.
 package sim
 
 import (
