@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke docs-check
+.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan docs-check
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,7 @@ test-race:
 # engine scaling curve, and the perception micro-benchmarks, and records the
 # machine-readable perf trajectory in $(BENCH_JSON) (benchmark → ns/op,
 # allocs/op, custom metrics). Scale campaigns with MAVFI_BENCH_RUNS.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./... > $(BENCH_JSON).raw
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).raw
@@ -46,6 +46,12 @@ bench:
 # each); CI runs this so benchmarks cannot rot.
 bench-smoke:
 	MAVFI_BENCH_RUNS=2 $(GO) test -bench . -benchtime=1x -run '^$$' ./...
+
+# bench-plan is the planner-regression smoke: one iteration of BenchmarkPlan
+# (the RRT* + spatial-index + map-query hot path PR 4 optimised), cheap
+# enough for every PR.
+bench-plan:
+	$(GO) test -bench 'BenchmarkPlan$$' -benchtime=1x -run '^$$' ./internal/pipeline
 
 # docs-check is the CI documentation gate: every internal/ package must have
 # a godoc package comment, and relative Markdown links in *.md and docs/

@@ -2,7 +2,11 @@
 //
 //   - any package under internal/ lacks a godoc package comment (every
 //     package must say which MAVFI paper stage it reproduces — the
-//     convention docs/ARCHITECTURE.md builds on), or
+//     convention docs/ARCHITECTURE.md builds on),
+//   - any exported top-level symbol (type, function, method on an exported
+//     type, const, var) in the packages listed in exportedDocDirs lacks a
+//     doc comment — currently internal/planning, the package the PR 4
+//     spatial-index refactor rewrote, or
 //   - any relative Markdown link in the repo's *.md files (root and docs/)
 //     points at a file that does not exist.
 //
@@ -17,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -32,6 +37,7 @@ func main() {
 
 	var problems []string
 	problems = append(problems, checkPackageComments(*root)...)
+	problems = append(problems, checkExportedDocs(*root)...)
 	problems = append(problems, checkMarkdownLinks(*root)...)
 
 	if len(problems) > 0 {
@@ -99,6 +105,92 @@ func checkPackageComments(root string) []string {
 		}
 	}
 	return problems
+}
+
+// exportedDocDirs lists the packages (relative to the repository root) whose
+// exported top-level symbols must all carry doc comments. Grow this list as
+// packages reach documentation-complete status.
+var exportedDocDirs = []string{
+	"internal/planning",
+}
+
+// checkExportedDocs requires a doc comment on every exported top-level
+// declaration of the exportedDocDirs packages: types, functions, methods
+// whose receiver type is itself exported, and exported const/var names
+// (a comment on the enclosing declaration group counts).
+func checkExportedDocs(root string) []string {
+	var problems []string
+	fset := token.NewFileSet()
+	for _, dir := range exportedDocDirs {
+		files, err := filepath.Glob(filepath.Join(root, filepath.FromSlash(dir), "*.go"))
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("docscheck: globbing %s: %v", dir, err))
+			continue
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: parse error: %v", f, err))
+				continue
+			}
+			rel, relErr := filepath.Rel(root, f)
+			if relErr != nil {
+				rel = f
+			}
+			rel = filepath.ToSlash(rel)
+			report := func(pos token.Pos, what string) {
+				problems = append(problems, fmt.Sprintf("%s:%d: exported %s lacks a doc comment",
+					rel, fset.Position(pos).Line, what))
+			}
+			for _, decl := range af.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !receiverExported(d) {
+						continue
+					}
+					if d.Doc == nil {
+						report(d.Pos(), "function "+d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+								report(s.Pos(), "type "+s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, name := range s.Names {
+								if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+									report(name.Pos(), "name "+name.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverExported reports whether fn is a plain function or a method on an
+// exported receiver type; methods on unexported types are not reachable API
+// and need no doc.
+func receiverExported(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true // generic or unusual receivers: require the doc
 }
 
 // mdLink matches inline Markdown links/images: [text](target). Reference

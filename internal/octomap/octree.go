@@ -76,6 +76,9 @@ type Tree struct {
 	depth      int       // tree depth; leaves are resolution-sized
 	origin     geom.Vec3 // minimum corner of the root cube
 	rootSize   float64   // side length of the root cube
+	maxKey     int       // rootSize/resolution: exclusive per-axis key bound
+	invRes     float64   // 1/resolution
+	mulKey     bool      // resolution is a power of two: key() may multiply
 	nodes      []node    // node arena; index 0 is the root
 
 	path pathCache  // memoised write-path descent for coherent updates
@@ -169,11 +172,18 @@ func New(bounds geom.AABB, resolution float64, params Params) *Tree {
 		depth:      depth,
 		origin:     bounds.Min,
 		rootSize:   rootSize,
+		maxKey:     int(rootSize / resolution),
+		invRes:     1 / resolution,
 		// Pre-size the arena so typical missions never pay an arena copy;
 		// 1<<17 16-byte nodes is 2 MiB against maps that grow to several
 		// hundred thousand nodes.
 		nodes: make([]node, 1, 1<<17),
 	}
+	// When the resolution is a power of two (the 0.5 m default), 1/resolution
+	// is exact and x*invRes == x/resolution bit-for-bit for every float, so
+	// key() may use the cheaper multiply.
+	frac, _ := math.Frexp(resolution)
+	t.mulKey = frac == 0.5
 	t.nodes[0] = node{firstChild: noChild}
 	keyExtent := func(side float64) int {
 		n := int(math.Ceil(side / resolution))
@@ -227,6 +237,58 @@ func (t *Tree) classify(x, y, z int) Occupancy {
 	return o
 }
 
+// classProbe is a per-query view of the classification cache with the
+// epoch/mutation bookkeeping hoisted out of the per-voxel path. The
+// collision queries classify one voxel per DDA step across up to seven rays
+// per call; re-checking the mutation counter on every voxel is pure overhead
+// because the tree cannot mutate mid-query (queries and insertion run
+// strictly in turn on the mission loop). classProbeView refreshes the epoch
+// exactly the way classify does, once, and the probe then serves the same
+// cached bytes classify would — cached and uncached paths stay
+// bit-identical.
+type classProbe struct {
+	t          *Tree
+	grid       []uint8
+	epoch      uint8
+	nx, ny, nz int
+}
+
+// classProbeView returns a probe over the current cache epoch (refreshing it
+// first, as classify would). With the cache unarmed the probe falls through
+// to the uncached descents.
+func (t *Tree) classProbeView() classProbe {
+	c := &t.cls
+	p := classProbe{t: t}
+	if c.grid == nil {
+		return p
+	}
+	if c.mut != t.mut || c.epoch == 0 {
+		c.mut = t.mut
+		c.epoch++
+		if c.epoch == 1<<6 {
+			clear(c.grid)
+			c.epoch = 1
+		}
+	}
+	p.grid, p.epoch, p.nx, p.ny, p.nz = c.grid, c.epoch, c.nx, c.ny, c.nz
+	return p
+}
+
+// classify is classify on the hoisted view: one bounds check and one byte
+// load on the hit path.
+func (p *classProbe) classify(x, y, z int) Occupancy {
+	if p.grid == nil || x < 0 || y < 0 || z < 0 || x >= p.nx || y >= p.ny || z >= p.nz {
+		return p.t.classifySlow(x, y, z)
+	}
+	i := (z*p.ny+y)*p.nx + x
+	if v := p.grid[i]; v>>2 == p.epoch {
+		return Occupancy(v & 3)
+	}
+	o := p.t.classifySlow(x, y, z)
+	p.grid[i] = p.epoch<<2 | uint8(o)
+	return o
+}
+
 // classifySlow is the uncached classification: one (path-memoised) descent.
 func (t *Tree) classifySlow(x, y, z int) Occupancy {
 	lo, known := t.lookup(x, y, z)
@@ -247,12 +309,16 @@ func (t *Tree) Resolution() float64 { return t.resolution }
 func (t *Tree) LeafUpdates() int { return t.leafUpdates }
 
 // key converts a world point to integer voxel coordinates at leaf depth.
-// ok is false outside the root volume.
+// ok is false outside the root volume. Power-of-two resolutions take the
+// multiply path, which is bit-identical to the divide (see New).
 func (t *Tree) key(p geom.Vec3) (x, y, z int, ok bool) {
 	rel := p.Sub(t.origin)
 	if rel.X < 0 || rel.Y < 0 || rel.Z < 0 ||
 		rel.X >= t.rootSize || rel.Y >= t.rootSize || rel.Z >= t.rootSize {
 		return 0, 0, 0, false
+	}
+	if t.mulKey {
+		return int(rel.X * t.invRes), int(rel.Y * t.invRes), int(rel.Z * t.invRes), true
 	}
 	x = int(rel.X / t.resolution)
 	y = int(rel.Y / t.resolution)
@@ -520,6 +586,24 @@ func (t *Tree) startWalk(w *rayWalker, origin, end geom.Vec3) {
 			return
 		}
 	}
+	t.seedWalk(w, origin, end, t0, t1)
+}
+
+// startWalkInside is startWalk for callers that have already established
+// that both endpoints key inside the root volume (rayFree probes both before
+// walking): it seeds the walk with exactly the fast path's (0, 1) clip —
+// bit-identical voxel sequences — minus the two redundant endpoint probes
+// and the slab-clip branch.
+func (t *Tree) startWalkInside(w *rayWalker, origin, end geom.Vec3) {
+	w.valid = false
+	t.seedWalk(w, origin, end, 0, 1)
+}
+
+// seedWalk is the shared tail of the walk initialisers: nudge the clipped
+// endpoints inward, key them, and set up the per-axis DDA state. Both
+// entry points above go through this one body so the seeding arithmetic
+// (the 1e-9 nudge, the Manhattan step bound) cannot drift between them.
+func (t *Tree) seedWalk(w *rayWalker, origin, end geom.Vec3, t0, t1 float64) {
 	d := end.Sub(origin)
 	p0 := origin.Add(d.Scale(t0 + 1e-9))
 	p1 := origin.Add(d.Scale(t1 - 1e-9))

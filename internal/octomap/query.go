@@ -45,18 +45,28 @@ func probeOffsets(r float64) [6]geom.Vec3 {
 // policy (centre voxel plus the 6 probe voxels at the radius; see
 // probeOffsets).
 func (t *Tree) PointFree(p geom.Vec3, q QueryPolicy) bool {
-	if q.blocked(t.At(p)) {
+	cp := t.classProbeView()
+	if q.blocked(cp.at(p)) {
 		return false
 	}
 	if q.Radius <= 0 {
 		return true
 	}
 	for _, d := range probeOffsets(q.Radius) {
-		if q.blocked(t.At(p.Add(d))) {
+		if q.blocked(cp.at(p.Add(d))) {
 			return false
 		}
 	}
 	return true
+}
+
+// at is At on the hoisted cache view.
+func (cp *classProbe) at(p geom.Vec3) Occupancy {
+	x, y, z, ok := cp.t.key(p)
+	if !ok {
+		return Occupied
+	}
+	return cp.classify(x, y, z)
 }
 
 // SegmentFree reports whether the segment a→b is traversable under the
@@ -70,14 +80,15 @@ func (t *Tree) PointFree(p geom.Vec3, q QueryPolicy) bool {
 // sampled PointFree at half-resolution spacing (~2 probes per crossed voxel)
 // and could step over a voxel the segment only grazes.
 func (t *Tree) SegmentFree(a, b geom.Vec3, q QueryPolicy) bool {
-	if !t.rayFree(a, b, q) {
+	cp := t.classProbeView()
+	if !t.rayFree(a, b, q, &cp) {
 		return false
 	}
 	if q.Radius <= 0 {
 		return true
 	}
 	for _, d := range probeOffsets(q.Radius) {
-		if !t.rayFree(a.Add(d), b.Add(d), q) {
+		if !t.rayFree(a.Add(d), b.Add(d), q, &cp) {
 			return false
 		}
 	}
@@ -85,8 +96,9 @@ func (t *Tree) SegmentFree(a, b geom.Vec3, q QueryPolicy) bool {
 }
 
 // rayFree reports whether every voxel crossed by the single segment a→b is
-// unblocked, with the whole segment inside the mapped volume.
-func (t *Tree) rayFree(a, b geom.Vec3, q QueryPolicy) bool {
+// unblocked, with the whole segment inside the mapped volume. cp is the
+// caller's cache view, shared across a query's probe rays.
+func (t *Tree) rayFree(a, b geom.Vec3, q QueryPolicy, cp *classProbe) bool {
 	ax, ay, az, aIn := t.key(a)
 	if !aIn {
 		return false
@@ -96,21 +108,28 @@ func (t *Tree) rayFree(a, b geom.Vec3, q QueryPolicy) bool {
 		// segment crosses out-of-volume (Occupied) space.
 		return false
 	}
-	if q.blocked(t.classify(ax, ay, az)) {
+	if q.blocked(cp.classify(ax, ay, az)) {
 		return false
 	}
 	if a == b {
 		return true
 	}
-	maxKey := int(t.rootSize / t.resolution)
 	var w rayWalker
-	t.startWalk(&w, a, b)
-	for {
-		x, y, z, _, ok := w.next()
-		if !ok {
-			return true
-		}
-		if w.tEntry > 1+1e-9 || x < 0 || y < 0 || z < 0 || x >= maxKey || y >= maxKey || z >= maxKey {
+	t.startWalkInside(&w, a, b) // both endpoints key inside, checked above
+	if !w.valid {
+		return true
+	}
+	// The DDA stepping below is rayWalker.next manually inlined on locals
+	// (next is beyond the inliner's budget and this loop classifies one
+	// voxel per step across up to seven rays per query): identical yield
+	// order, identical guards, so the voxel sequence is bit-identical to
+	// the walker's.
+	x, y, z := w.x, w.y, w.z
+	tMaxX, tMaxY, tMaxZ := w.tMaxX, w.tMaxY, w.tMaxZ
+	tNext := 0.0
+	for steps := 0; steps < w.maxSteps; steps++ {
+		tEntry := tNext
+		if tEntry > 1+1e-9 || x < 0 || y < 0 || z < 0 || x >= t.maxKey || y >= t.maxKey || z >= t.maxKey {
 			// Walker overshoot artifact, not a crossed voxel: a near-zero
 			// axis delta below the DDA threshold (step 0) with endpoints
 			// straddling that axis's voxel boundary makes the end key
@@ -120,10 +139,40 @@ func (t *Tree) rayFree(a, b geom.Vec3, q QueryPolicy) bool {
 			// terminates the walk before either guard can trip).
 			return true
 		}
-		if q.blocked(t.classify(x, y, z)) {
+		// Manually inlined classProbe.classify hit path: one predictable
+		// branch and one byte load per crossed voxel on a warm cache.
+		var o Occupancy
+		if cp.grid != nil && x < cp.nx && y < cp.ny && z < cp.nz {
+			if v := cp.grid[(z*cp.ny+y)*cp.nx+x]; v>>2 == cp.epoch {
+				o = Occupancy(v & 3)
+			} else {
+				o = cp.classify(x, y, z)
+			}
+		} else {
+			o = cp.classify(x, y, z)
+		}
+		if q.blocked(o) {
 			return false
 		}
+		if x == w.ex && y == w.ey && z == w.ez {
+			return true // end voxel reached, walk exhausted
+		}
+		switch {
+		case tMaxX <= tMaxY && tMaxX <= tMaxZ:
+			x += w.stepX
+			tNext = tMaxX
+			tMaxX += w.tDeltaX
+		case tMaxY <= tMaxZ:
+			y += w.stepY
+			tNext = tMaxY
+			tMaxY += w.tDeltaY
+		default:
+			z += w.stepZ
+			tNext = tMaxZ
+			tMaxZ += w.tDeltaZ
+		}
 	}
+	return true
 }
 
 // FirstBlocked walks from a toward b and returns the parametric position
@@ -137,13 +186,14 @@ func (t *Tree) rayFree(a, b geom.Vec3, q QueryPolicy) bool {
 // of the first blocked sample position (which lagged the boundary by up to
 // half a sample spacing).
 func (t *Tree) FirstBlocked(a, b geom.Vec3, q QueryPolicy) (frac float64, ok bool) {
+	cp := t.classProbeView()
 	first := math.Inf(1)
-	if f, blocked := t.rayFirstBlocked(a, b, q); blocked {
+	if f, blocked := t.rayFirstBlocked(a, b, q, &cp); blocked {
 		first = f
 	}
 	if q.Radius > 0 {
 		for _, d := range probeOffsets(q.Radius) {
-			if f, blocked := t.rayFirstBlocked(a.Add(d), b.Add(d), q); blocked && f < first {
+			if f, blocked := t.rayFirstBlocked(a.Add(d), b.Add(d), q, &cp); blocked && f < first {
 				first = f
 			}
 		}
@@ -156,19 +206,19 @@ func (t *Tree) FirstBlocked(a, b geom.Vec3, q QueryPolicy) (frac float64, ok boo
 
 // rayFirstBlocked returns the parametric position along the single segment
 // a→b at which the ray first enters blocked (or out-of-volume) space, and
-// whether any such position exists.
-func (t *Tree) rayFirstBlocked(a, b geom.Vec3, q QueryPolicy) (float64, bool) {
+// whether any such position exists. cp is the caller's cache view, shared
+// across a query's probe rays.
+func (t *Tree) rayFirstBlocked(a, b geom.Vec3, q QueryPolicy, cp *classProbe) (float64, bool) {
 	ax, ay, az, aIn := t.key(a)
 	if !aIn {
 		return 0, true // starts in out-of-volume (Occupied) space
 	}
-	if q.blocked(t.classify(ax, ay, az)) {
+	if q.blocked(cp.classify(ax, ay, az)) {
 		return 0, true // starts inside a blocked voxel
 	}
 	if a == b {
 		return 0, false
 	}
-	maxKey := int(t.rootSize / t.resolution)
 	var w rayWalker
 	t.startWalk(&w, a, b)
 	for {
@@ -176,10 +226,10 @@ func (t *Tree) rayFirstBlocked(a, b geom.Vec3, q QueryPolicy) (float64, bool) {
 		if !ok {
 			break
 		}
-		if w.tEntry > 1+1e-9 || x < 0 || y < 0 || z < 0 || x >= maxKey || y >= maxKey || z >= maxKey {
+		if w.tEntry > 1+1e-9 || x < 0 || y < 0 || z < 0 || x >= t.maxKey || y >= t.maxKey || z >= t.maxKey {
 			break // walker overshoot artifact; see rayFree
 		}
-		if q.blocked(t.classify(x, y, z)) {
+		if q.blocked(cp.classify(x, y, z)) {
 			return w.segParam(w.tEntry), true
 		}
 	}

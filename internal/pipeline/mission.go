@@ -212,8 +212,16 @@ func newRunner(cfg Config) *runner {
 	if cfg.StateFault != nil {
 		r.sInj = faultinject.NewStateInjector(*cfg.StateFault)
 	}
+	// Recording buffers are reserved to the mission tick budget up front
+	// (the loop terminates at MaxMissionS, so they can never grow past it):
+	// the per-tick Add/append paths then stay allocation-free, extending the
+	// zero-alloc steady-state property to recorded missions.
 	if cfg.Record {
 		r.trc = &trace.Trace{}
+		r.trc.Reserve(r.tickBudget())
+	}
+	if cfg.RecordStates {
+		r.deltas = make([][detect.NumStates]float64, 0, r.tickBudget())
 	}
 
 	// Per-mission ambient wind: a constant horizontal component plus
@@ -225,6 +233,13 @@ func newRunner(cfg Config) *runner {
 
 	r.buildGraph()
 	return r
+}
+
+// tickBudget returns the maximum number of ticks a mission can run (the
+// loop exits once r.t reaches MaxMissionS), plus slack for the terminal
+// tick: the exact capacity the per-tick recording buffers need.
+func (r *runner) tickBudget() int {
+	return int(r.cfg.MaxMissionS/r.tick) + 2
 }
 
 // hook returns the fault hook for kernel k: the counting hook in

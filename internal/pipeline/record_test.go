@@ -1,0 +1,37 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/env"
+)
+
+// TestRecordingBuffersPreallocated pins the recorded-mission zero-alloc
+// property at the mission level: the trace and state-delta buffers are
+// reserved to the tick budget before the loop starts, so a full mission
+// must end with the buffers at exactly their reserved capacity — any
+// mid-flight reallocation would show as a larger capacity. (The per-Add
+// allocation behaviour itself is pinned by trace.TestTraceReserveAddAllocFree.)
+func TestRecordingBuffersPreallocated(t *testing.T) {
+	w := env.Sparse(rand.New(rand.NewSource(42)))
+	r := newRunner(Config{World: w, Seed: 3, Record: true, RecordStates: true})
+	budget := r.tickBudget()
+	res := r.run()
+
+	if res.Trace == nil {
+		t.Fatal("Record did not produce a trace")
+	}
+	if n := len(res.Trace.Samples); n == 0 || n > budget {
+		t.Fatalf("trace has %d samples, budget %d", n, budget)
+	}
+	if c := cap(res.Trace.Samples); c != budget {
+		t.Fatalf("trace capacity %d, want the reserved budget %d (mid-flight reallocation?)", c, budget)
+	}
+	if n := len(res.StateDeltas); n == 0 || n > budget {
+		t.Fatalf("%d state deltas, budget %d", n, budget)
+	}
+	if c := cap(res.StateDeltas); c != budget {
+		t.Fatalf("state-delta capacity %d, want the reserved budget %d (mid-flight reallocation?)", c, budget)
+	}
+}

@@ -1,0 +1,94 @@
+package planning
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// plannersWithIndex builds the three RRT-family planners with the given
+// index policy forced.
+func plannersWithIndex(bounds geom.AABB, policy IndexPolicy) []Planner {
+	cfg := DefaultConfig(bounds)
+	cfg.Index = policy
+	return []Planner{NewRRT(cfg), NewRRTStar(cfg), NewRRTConnect(cfg)}
+}
+
+// samePath asserts two planner outputs are byte-identical: same error, same
+// length, and bit-equal way-point coordinates.
+func samePath(t *testing.T, name string, seed int64, gridPath, linPath []geom.Vec3, gridErr, linErr error) {
+	t.Helper()
+	if (gridErr == nil) != (linErr == nil) {
+		t.Fatalf("%s seed %d: grid err=%v, linear err=%v", name, seed, gridErr, linErr)
+	}
+	if len(gridPath) != len(linPath) {
+		t.Fatalf("%s seed %d: grid path has %d points, linear %d", name, seed, len(gridPath), len(linPath))
+	}
+	for i := range gridPath {
+		if gridPath[i] != linPath[i] { // exact float equality, all three axes
+			t.Fatalf("%s seed %d: point %d diverged: grid %v, linear %v", name, seed, i, gridPath[i], linPath[i])
+		}
+	}
+}
+
+// TestPlannerIndexDeterminism is the planner-level bit-identity gate for the
+// spatial index: the same seed and world must produce byte-identical paths
+// with the index force-enabled (IndexGrid) and force-disabled (IndexLinear),
+// for RRT, RRT*, and RRT-Connect, across worlds with and without obstacles.
+// Combined with the golden mission digests this pins the index as a pure
+// optimisation.
+func TestPlannerIndexDeterminism(t *testing.T) {
+	worlds := []struct {
+		name        string
+		cc          *boxChecker
+		start, goal geom.Vec3
+	}{
+		{"corridor", corridorWorld(), geom.V(5, 5, 3), geom.V(35, 5, 3)},
+		{"open", &boxChecker{bounds: geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10))}, geom.V(2, 2, 2), geom.V(38, 38, 8)},
+		{"cluttered", &boxChecker{
+			bounds: geom.Box(geom.V(0, 0, 0), geom.V(50, 50, 12)),
+			obstacles: []geom.AABB{
+				geom.Box(geom.V(10, 0, 0), geom.V(14, 35, 12)),
+				geom.Box(geom.V(24, 15, 0), geom.V(28, 50, 12)),
+				geom.Box(geom.V(36, 0, 0), geom.V(40, 30, 12)),
+			},
+		}, geom.V(3, 3, 3), geom.V(47, 47, 6)},
+	}
+	for _, w := range worlds {
+		grid := plannersWithIndex(w.cc.bounds, IndexGrid)
+		lin := plannersWithIndex(w.cc.bounds, IndexLinear)
+		for pi := range grid {
+			for seed := int64(0); seed < 6; seed++ {
+				gp, gerr := grid[pi].Plan(w.start, w.goal, w.cc, rand.New(rand.NewSource(seed)))
+				lp, lerr := lin[pi].Plan(w.start, w.goal, w.cc, rand.New(rand.NewSource(seed)))
+				samePath(t, w.name+"/"+grid[pi].Name(), seed, gp, lp, gerr, lerr)
+			}
+		}
+	}
+}
+
+// TestPlannerScratchReuseDeterminism verifies that reusing one planner
+// instance across Plan invocations (the arena/index reuse the mission loop
+// relies on) does not perturb results: a fresh planner and a heavily reused
+// one produce byte-identical paths for the same seed.
+func TestPlannerScratchReuseDeterminism(t *testing.T) {
+	cc := corridorWorld()
+	start, goal := geom.V(5, 5, 3), geom.V(35, 5, 3)
+	cfg := DefaultConfig(cc.bounds)
+	reused := []Planner{NewRRT(cfg), NewRRTStar(cfg), NewRRTConnect(cfg)}
+	// Warm the reused planners' arenas and bucket storage.
+	for _, p := range reused {
+		for seed := int64(10); seed < 14; seed++ {
+			_, _ = p.Plan(start, goal, cc, rand.New(rand.NewSource(seed)))
+		}
+	}
+	fresh := []Planner{NewRRT(cfg), NewRRTStar(cfg), NewRRTConnect(cfg)}
+	for pi := range reused {
+		for seed := int64(0); seed < 4; seed++ {
+			rp, rerr := reused[pi].Plan(start, goal, cc, rand.New(rand.NewSource(seed)))
+			fp, ferr := fresh[pi].Plan(start, goal, cc, rand.New(rand.NewSource(seed)))
+			samePath(t, reused[pi].Name(), seed, rp, fp, rerr, ferr)
+		}
+	}
+}

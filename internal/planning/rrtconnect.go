@@ -10,8 +10,16 @@ import (
 // 2000): two trees grow from the start and the goal, each alternately
 // extending toward a sample and then greedily connecting toward the other
 // tree's newest node.
+//
+// An RRTConnect instance owns the two search-tree arenas and their spatial
+// indices (reused across Plan invocations) and must not serve concurrent
+// Plan calls; the mission pipeline constructs one planner per mission.
 type RRTConnect struct {
+	// Cfg is the sampling configuration.
 	Cfg Config
+
+	ta searchTree // start-rooted tree, per-planner scratch
+	tb searchTree // goal-rooted tree, per-planner scratch
 }
 
 // NewRRTConnect returns an RRT-Connect planner with the given configuration.
@@ -29,14 +37,13 @@ const (
 )
 
 // extend grows tree by one step toward target.
-func (p *RRTConnect) extend(tree *[]treeNode, target geom.Vec3, cc CollisionChecker) (connectResult, int) {
-	ni := nearest(*tree, target)
-	cand := p.Cfg.steer((*tree)[ni].pos, target)
-	if !cc.SegmentFree((*tree)[ni].pos, cand) {
+func (p *RRTConnect) extend(tree *searchTree, target geom.Vec3, cc CollisionChecker) (connectResult, int) {
+	ni := tree.nearest(target)
+	cand := p.Cfg.steer(tree.nodes[ni].pos, target)
+	if !cc.SegmentFree(tree.nodes[ni].pos, cand) {
 		return trapped, -1
 	}
-	*tree = append(*tree, treeNode{pos: cand, parent: ni})
-	li := len(*tree) - 1
+	li := tree.add(treeNode{pos: cand, parent: ni})
 	if cand.Dist(target) < 1e-9 {
 		return reached, li
 	}
@@ -44,7 +51,7 @@ func (p *RRTConnect) extend(tree *[]treeNode, target geom.Vec3, cc CollisionChec
 }
 
 // connect repeatedly extends tree toward target until blocked or reached.
-func (p *RRTConnect) connect(tree *[]treeNode, target geom.Vec3, cc CollisionChecker) (connectResult, int) {
+func (p *RRTConnect) connect(tree *searchTree, target geom.Vec3, cc CollisionChecker) (connectResult, int) {
 	for {
 		res, li := p.extend(tree, target, cc)
 		if res != advanced {
@@ -52,7 +59,7 @@ func (p *RRTConnect) connect(tree *[]treeNode, target geom.Vec3, cc CollisionChe
 		}
 		// Cap runaway connects against the iteration budget implicitly via
 		// tree growth; a tree larger than MaxIters nodes aborts.
-		if len(*tree) > p.Cfg.MaxIters {
+		if tree.len() > p.Cfg.MaxIters {
 			return trapped, -1
 		}
 	}
@@ -64,29 +71,29 @@ func (p *RRTConnect) Plan(start, goal geom.Vec3, cc CollisionChecker, rng *rand.
 	if !cc.PointFree(start) || !cc.PointFree(goal) {
 		return nil, ErrNoPath
 	}
-	ta := []treeNode{{pos: start, parent: -1}} // rooted at start
-	tb := []treeNode{{pos: goal, parent: -1}}  // rooted at goal
+	p.ta.reset(&p.Cfg, treeNode{pos: start, parent: -1}) // rooted at start
+	p.tb.reset(&p.Cfg, treeNode{pos: goal, parent: -1})  // rooted at goal
 	fromStart := true
 
 	for iter := 0; iter < p.Cfg.MaxIters; iter++ {
-		a, b := &ta, &tb
+		a, b := &p.ta, &p.tb
 		if !fromStart {
-			a, b = &tb, &ta
+			a, b = &p.tb, &p.ta
 		}
 		target := p.Cfg.sample(goal, rng)
 		res, li := p.extend(a, target, cc)
 		if res != trapped {
-			newPos := (*a)[li].pos
+			newPos := a.nodes[li].pos
 			cres, cli := p.connect(b, newPos, cc)
 			if cres == reached {
 				// Join: path through tree a to newPos, then back down tree b.
 				var pa, pb []geom.Vec3
 				if fromStart {
-					pa = extractPath(ta, li)
-					pb = extractPath(tb, cli)
+					pa = extractPath(p.ta.nodes, li)
+					pb = extractPath(p.tb.nodes, cli)
 				} else {
-					pa = extractPath(ta, cli)
-					pb = extractPath(tb, li)
+					pa = extractPath(p.ta.nodes, cli)
+					pb = extractPath(p.tb.nodes, li)
 				}
 				// pa runs start→join, pb runs goal→join; reverse pb.
 				path := append([]geom.Vec3{}, pa...)

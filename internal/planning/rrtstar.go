@@ -10,8 +10,17 @@ import (
 // 2011): new nodes choose the lowest-cost parent in a neighbourhood and
 // rewire neighbours through themselves when that shortens their cost-to-
 // come. This is the default motion planner of the paper's PPC pipeline.
+//
+// An RRTStar instance owns its search-tree arena, spatial index, and
+// neighbourhood scratch (reused across Plan invocations) and must not serve
+// concurrent Plan calls; the mission pipeline constructs one planner per
+// mission.
 type RRTStar struct {
+	// Cfg is the sampling configuration.
 	Cfg Config
+
+	tree searchTree // per-planner scratch, reset by every Plan
+	hood []int32    // neighbourhood scratch for choose-parent/rewire
 }
 
 // NewRRTStar returns an RRT* planner with the given configuration.
@@ -29,43 +38,40 @@ func (p *RRTStar) Plan(start, goal geom.Vec3, cc CollisionChecker, rng *rand.Ran
 	if !cc.PointFree(start) || !cc.PointFree(goal) {
 		return nil, ErrNoPath
 	}
-	tree := []treeNode{{pos: start, parent: -1, cost: 0}}
+	t := &p.tree
+	t.reset(&p.Cfg, treeNode{pos: start, parent: -1, cost: 0})
 	bestGoal := -1
 	bestCost := 0.0
 
 	for iter := 0; iter < p.Cfg.MaxIters; iter++ {
 		target := p.Cfg.sample(goal, rng)
-		ni := nearest(tree, target)
-		cand := p.Cfg.steer(tree[ni].pos, target)
-		if !cc.SegmentFree(tree[ni].pos, cand) {
+		ni := t.nearest(target)
+		cand := p.Cfg.steer(t.nodes[ni].pos, target)
+		if !cc.SegmentFree(t.nodes[ni].pos, cand) {
 			continue
 		}
 
 		// Choose the cheapest collision-free parent in the neighbourhood.
+		// The neighbourhood is gathered before the candidate is added, in
+		// ascending node-index order, so tie-breaking matches the reference
+		// linear scan exactly.
 		parent := ni
-		cost := tree[ni].cost + tree[ni].pos.Dist(cand)
-		r2 := p.Cfg.RewireRadius * p.Cfg.RewireRadius
-		var hood []int
-		for i := range tree {
-			if tree[i].pos.DistSq(cand) <= r2 {
-				hood = append(hood, i)
+		cost := t.nodes[ni].cost + t.nodes[ni].pos.Dist(cand)
+		p.hood = t.near(cand, p.Cfg.RewireRadius, p.hood[:0])
+		for _, i := range p.hood {
+			n := &t.nodes[i]
+			if c := n.cost + n.pos.Dist(cand); c < cost && cc.SegmentFree(n.pos, cand) {
+				parent, cost = int(i), c
 			}
 		}
-		for _, i := range hood {
-			c := tree[i].cost + tree[i].pos.Dist(cand)
-			if c < cost && cc.SegmentFree(tree[i].pos, cand) {
-				parent, cost = i, c
-			}
-		}
-		tree = append(tree, treeNode{pos: cand, parent: parent, cost: cost})
-		li := len(tree) - 1
+		li := t.add(treeNode{pos: cand, parent: parent, cost: cost})
 
 		// Rewire neighbours through the new node when cheaper.
-		for _, i := range hood {
-			through := cost + cand.Dist(tree[i].pos)
-			if through < tree[i].cost && cc.SegmentFree(cand, tree[i].pos) {
-				tree[i].parent = li
-				tree[i].cost = through
+		for _, i := range p.hood {
+			n := &t.nodes[i]
+			if through := cost + cand.Dist(n.pos); through < n.cost && cc.SegmentFree(cand, n.pos) {
+				n.parent = li
+				n.cost = through
 			}
 		}
 
@@ -84,7 +90,7 @@ func (p *RRTStar) Plan(start, goal geom.Vec3, cc CollisionChecker, rng *rand.Ran
 	if bestGoal < 0 {
 		return nil, ErrNoPath
 	}
-	path := extractPath(tree, bestGoal)
+	path := extractPath(t.nodes, bestGoal)
 	if path[len(path)-1] != goal {
 		path = append(path, goal)
 	}

@@ -1,0 +1,383 @@
+package planning
+
+import (
+	"math"
+	"slices"
+
+	"mavfi/internal/geom"
+)
+
+// maxGridCells bounds the bucket count of a gridIndex: when the planning
+// volume is large relative to the step size, the cell edge doubles until the
+// grid fits, trading lookup locality for bounded memory.
+const maxGridCells = 1 << 15
+
+// bucketEntry is one indexed tree node: its position is stored inline so
+// bucket scans stay on one cache line run instead of chasing back into the
+// node arena. The position is a bit-exact copy of the node's, so distances
+// computed here equal the reference linear scan's to the last bit.
+type bucketEntry struct {
+	pos geom.Vec3
+	id  int32
+}
+
+// gridIndex is the bucketed spatial index behind the planners' nearest-node
+// and neighbourhood queries: uniform cubic buckets over the planning volume,
+// each holding the tree nodes whose position falls inside it.
+//
+// The index is an exact accelerator, not an approximation — both queries
+// return bit-identically what the reference linear scans over the node slice
+// return (pinned by the randomized equivalence tests in
+// spatialindex_test.go and the planner determinism tests):
+//
+//   - nearest reproduces the linear scan's first-min rule: the node with the
+//     globally smallest squared distance, ties broken toward the lowest node
+//     index. The expanding-shell search only terminates once every bucket
+//     that could hold a strictly-better or equal-distance node has been
+//     scanned.
+//   - near returns every node within the radius in ascending node-index
+//     order, exactly the order the linear scan appends them in, so RRT*'s
+//     sequential choose-parent tie-breaking is preserved.
+//
+// Points outside the configured bounds (the mission start can sit slightly
+// outside the sampling volume) are clamped into the boundary buckets; since
+// clamping is monotone and 1-Lipschitz per axis, both the coverage and the
+// shell-termination arguments survive, and the stored positions themselves
+// are never clamped — distances are always computed on the true coordinates.
+//
+// Two structures keep queries cheap in the common planner workload (a tree
+// that occupies a small, growing region of a large sampling volume):
+//
+//   - Buckets are epoch-stamped: resetting the index for a new Plan
+//     invocation increments the epoch instead of clearing bucket slices, so
+//     per-plan reuse costs O(1) and bucket storage amortises across a
+//     planner's lifetime (mirroring the epoch-stamped scan grid and class
+//     cache of internal/octomap).
+//   - The index tracks the bounding box of occupied cells. Shell scans are
+//     clipped to that box and start at the first shell that touches it, so a
+//     sample drawn far from the tree costs the box's near face, not an
+//     expansion through thousands of empty buckets.
+type gridIndex struct {
+	min     geom.Vec3 // bounds minimum corner
+	cell    float64   // cubic cell edge length
+	invCell float64   // 1/cell
+	nx      int32     // cells per axis
+	ny      int32
+	nz      int32
+
+	// Occupied-cell bounding box (inclusive); empty when loX > hiX.
+	loX, hiX int32
+	loY, hiY int32
+	loZ, hiZ int32
+
+	epoch   uint32
+	stamps  []uint32 // per-bucket epoch of last write
+	buckets [][]bucketEntry
+	boxes   []geom.AABB // per-bucket AABB of the stored positions
+}
+
+// boundPad is the relative safety margin on bucket-pruning comparisons: a
+// bucket is skipped only when its (floating-point) box distance exceeds the
+// query threshold by more than this factor. The exact pruning inequality
+// holds in real arithmetic; the pad absorbs the ≤ a-few-ulps rounding of the
+// bound computation so pruning can never drop a node that ties the incumbent
+// to the last bit.
+const boundPad = 1 + 1e-9
+
+// boxDistSq returns the squared distance from p to box (0 inside). The box
+// bounds actual stored positions, so the bound needs no cell-assignment
+// rounding analysis: any node in the bucket is inside the box by
+// construction.
+func boxDistSq(p geom.Vec3, box geom.AABB) float64 {
+	var dx, dy, dz float64
+	if p.X < box.Min.X {
+		dx = box.Min.X - p.X
+	} else if p.X > box.Max.X {
+		dx = p.X - box.Max.X
+	}
+	if p.Y < box.Min.Y {
+		dy = box.Min.Y - p.Y
+	} else if p.Y > box.Max.Y {
+		dy = p.Y - box.Max.Y
+	}
+	if p.Z < box.Min.Z {
+		dz = box.Min.Z - p.Z
+	} else if p.Z > box.Max.Z {
+		dz = p.Z - box.Max.Z
+	}
+	return dx*dx + dy*dy + dz*dz
+}
+
+// dimCells returns how many cells of the given edge cover extent (≥ 1).
+func dimCells(extent, cell float64) int32 {
+	if extent <= 0 {
+		return 1
+	}
+	n := int32(math.Ceil(extent / cell))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// configure resets the index for a new Plan invocation over the given
+// sampling volume. cellHint (the planner step size — the typical edge
+// length, hence the typical nearest-neighbour distance) sets the cell edge,
+// doubled until the grid fits maxGridCells. Bucket storage is reused when
+// the geometry is unchanged; otherwise it is reallocated.
+func (g *gridIndex) configure(bounds geom.AABB, cellHint float64) {
+	cell := cellHint
+	if cell <= 0 {
+		cell = 1
+	}
+	size := bounds.Size()
+	var nx, ny, nz int32
+	for {
+		nx, ny, nz = dimCells(size.X, cell), dimCells(size.Y, cell), dimCells(size.Z, cell)
+		if int64(nx)*int64(ny)*int64(nz) <= maxGridCells {
+			break
+		}
+		cell *= 2
+	}
+	g.loX, g.hiX, g.loY, g.hiY, g.loZ, g.hiZ = 1, 0, 1, 0, 1, 0 // empty box
+	n := int(nx) * int(ny) * int(nz)
+	if g.min != bounds.Min || g.cell != cell || g.nx != nx || g.ny != ny || g.nz != nz {
+		g.min, g.cell, g.invCell = bounds.Min, cell, 1/cell
+		g.nx, g.ny, g.nz = nx, ny, nz
+		g.stamps = make([]uint32, n)
+		g.buckets = make([][]bucketEntry, n)
+		g.boxes = make([]geom.AABB, n)
+		g.epoch = 1
+		return
+	}
+	g.epoch++
+	if g.epoch == 0 { // uint32 wrap: stale stamps could alias, clear them
+		clear(g.stamps)
+		g.epoch = 1
+	}
+}
+
+// axisCell maps one coordinate to its clamped cell index along an axis.
+func (g *gridIndex) axisCell(v, min float64, n int32) int32 {
+	c := int32((v - min) * g.invCell)
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// cellOf returns the clamped bucket coordinates of p.
+func (g *gridIndex) cellOf(p geom.Vec3) (cx, cy, cz int32) {
+	return g.axisCell(p.X, g.min.X, g.nx),
+		g.axisCell(p.Y, g.min.Y, g.ny),
+		g.axisCell(p.Z, g.min.Z, g.nz)
+}
+
+// bucketAt returns the flat bucket index for cell (cx, cy, cz).
+func (g *gridIndex) bucketAt(cx, cy, cz int32) int32 {
+	return (cz*g.ny+cy)*g.nx + cx
+}
+
+// insert adds node id at position pos to its bucket and grows the
+// occupied-cell box.
+func (g *gridIndex) insert(id int32, pos geom.Vec3) {
+	cx, cy, cz := g.cellOf(pos)
+	b := g.bucketAt(cx, cy, cz)
+	if g.stamps[b] != g.epoch {
+		g.stamps[b] = g.epoch
+		g.buckets[b] = g.buckets[b][:0]
+		g.boxes[b] = geom.AABB{Min: pos, Max: pos}
+	} else {
+		bx := &g.boxes[b]
+		bx.Min = bx.Min.Min(pos)
+		bx.Max = bx.Max.Max(pos)
+	}
+	g.buckets[b] = append(g.buckets[b], bucketEntry{pos: pos, id: id})
+	if g.loX > g.hiX { // first node
+		g.loX, g.hiX, g.loY, g.hiY, g.loZ, g.hiZ = cx, cx, cy, cy, cz, cz
+		return
+	}
+	if cx < g.loX {
+		g.loX = cx
+	} else if cx > g.hiX {
+		g.hiX = cx
+	}
+	if cy < g.loY {
+		g.loY = cy
+	} else if cy > g.hiY {
+		g.hiY = cy
+	}
+	if cz < g.loZ {
+		g.loZ = cz
+	} else if cz > g.hiZ {
+		g.hiZ = cz
+	}
+}
+
+// scanBucket folds one bucket's nodes into the running (best, bestD)
+// nearest-candidate under the first-min rule. Callers guarantee the cell is
+// inside the grid.
+func (g *gridIndex) scanBucket(p geom.Vec3, cx, cy, cz int32, best *int32, bestD *float64) {
+	b := g.bucketAt(cx, cy, cz)
+	if g.stamps[b] != g.epoch {
+		return
+	}
+	if *best >= 0 && boxDistSq(p, g.boxes[b]) > *bestD*boundPad {
+		return // every node here is strictly farther than the incumbent
+	}
+	for i := range g.buckets[b] {
+		e := &g.buckets[b][i]
+		d := e.pos.DistSq(p)
+		if d < *bestD || (d == *bestD && e.id < *best) {
+			*best, *bestD = e.id, d
+		}
+	}
+}
+
+// clip intersects [lo, hi] with [boxLo, boxHi] and reports whether the
+// intersection is non-empty.
+func clip(lo, hi, boxLo, boxHi int32) (int32, int32, bool) {
+	if lo < boxLo {
+		lo = boxLo
+	}
+	if hi > boxHi {
+		hi = boxHi
+	}
+	return lo, hi, lo <= hi
+}
+
+// scanShell scans every occupied-box bucket at exactly Chebyshev distance r
+// from the centre cell (each face enumerated once, no double visits).
+func (g *gridIndex) scanShell(p geom.Vec3, cx, cy, cz, r int32, best *int32, bestD *float64) {
+	if r == 0 {
+		if cx >= g.loX && cx <= g.hiX && cy >= g.loY && cy <= g.hiY && cz >= g.loZ && cz <= g.hiZ {
+			g.scanBucket(p, cx, cy, cz, best, bestD)
+		}
+		return
+	}
+	ly, hy, okY := clip(cy-r, cy+r, g.loY, g.hiY)
+	lz, hz, okZ := clip(cz-r, cz+r, g.loZ, g.hiZ)
+	if okY && okZ {
+		for _, x := range [2]int32{cx - r, cx + r} { // two x faces, full extent
+			if x < g.loX || x > g.hiX {
+				continue
+			}
+			for y := ly; y <= hy; y++ {
+				for z := lz; z <= hz; z++ {
+					g.scanBucket(p, x, y, z, best, bestD)
+				}
+			}
+		}
+	}
+	lx, hx, okX := clip(cx-r+1, cx+r-1, g.loX, g.hiX)
+	if okX && okZ {
+		for _, y := range [2]int32{cy - r, cy + r} { // two y faces, x interior
+			if y < g.loY || y > g.hiY {
+				continue
+			}
+			for x := lx; x <= hx; x++ {
+				for z := lz; z <= hz; z++ {
+					g.scanBucket(p, x, y, z, best, bestD)
+				}
+			}
+		}
+	}
+	ly, hy, okY = clip(cy-r+1, cy+r-1, g.loY, g.hiY)
+	if okX && okY {
+		for _, z := range [2]int32{cz - r, cz + r} { // two z faces, x and y interior
+			if z < g.loZ || z > g.hiZ {
+				continue
+			}
+			for x := lx; x <= hx; x++ {
+				for y := ly; y <= hy; y++ {
+					g.scanBucket(p, x, y, z, best, bestD)
+				}
+			}
+		}
+	}
+}
+
+// nearest returns the index of the node closest to p under the linear scan's
+// first-min rule, or -1 on an empty index. It expands Chebyshev shells
+// around p's cell — clipped to the occupied box, starting at the first shell
+// that touches it — and stops once no unscanned bucket can hold a node at a
+// distance ≤ the incumbent: after shells 0..R are scanned, any unscanned
+// node sits ≥ R·cell away (its cell differs by ≥ R+1 on some axis; shells
+// skipped below the start radius and cells clipped away are empty by
+// construction, hence vacuously scanned), so termination requires bestD
+// strictly below (R·cell)² — an exact tie outside the scanned region can
+// then no longer exist, preserving the lowest-index tie-break globally.
+func (g *gridIndex) nearest(p geom.Vec3) int {
+	if g.loX > g.hiX {
+		return -1
+	}
+	cx, cy, cz := g.cellOf(p)
+	// Chebyshev distance from the centre cell to the occupied box (first
+	// shell that can contain a node) and to its farthest cell (last shell).
+	r0, maxR := int32(0), int32(0)
+	for _, d := range [6]int32{g.loX - cx, cx - g.hiX, g.loY - cy, cy - g.hiY, g.loZ - cz, cz - g.hiZ} {
+		if d > r0 {
+			r0 = d
+		}
+	}
+	for _, d := range [6]int32{g.hiX - cx, cx - g.loX, g.hiY - cy, cy - g.loY, g.hiZ - cz, cz - g.loZ} {
+		if d > maxR {
+			maxR = d
+		}
+	}
+	best, bestD := int32(-1), math.Inf(1)
+	for r := r0; r <= maxR; r++ {
+		if best >= 0 && r >= 2 {
+			lb := float64(r-1) * g.cell
+			if bestD < lb*lb {
+				break
+			}
+		}
+		g.scanShell(p, cx, cy, cz, r, &best, &bestD)
+	}
+	return int(best)
+}
+
+// near appends to out every node index whose position lies within radius of
+// p (inclusive, on squared distances) and returns out sorted ascending —
+// exactly the set and order the reference linear scan produces.
+func (g *gridIndex) near(p geom.Vec3, radius float64, out []int32) []int32 {
+	r2 := radius * radius
+	start := len(out) // sort only what we append; a caller's prefix is untouched
+	lox, loy, loz := g.cellOf(geom.V(p.X-radius, p.Y-radius, p.Z-radius))
+	hix, hiy, hiz := g.cellOf(geom.V(p.X+radius, p.Y+radius, p.Z+radius))
+	var ok bool
+	if lox, hix, ok = clip(lox, hix, g.loX, g.hiX); !ok {
+		return out
+	}
+	if loy, hiy, ok = clip(loy, hiy, g.loY, g.hiY); !ok {
+		return out
+	}
+	if loz, hiz, ok = clip(loz, hiz, g.loZ, g.hiZ); !ok {
+		return out
+	}
+	for cz := loz; cz <= hiz; cz++ {
+		for cy := loy; cy <= hiy; cy++ {
+			for cx := lox; cx <= hix; cx++ {
+				b := g.bucketAt(cx, cy, cz)
+				if g.stamps[b] != g.epoch {
+					continue
+				}
+				if boxDistSq(p, g.boxes[b]) > r2*boundPad {
+					continue // no node here can be within the radius
+				}
+				for i := range g.buckets[b] {
+					e := &g.buckets[b][i]
+					if e.pos.DistSq(p) <= r2 {
+						out = append(out, e.id)
+					}
+				}
+			}
+		}
+	}
+	slices.Sort(out[start:])
+	return out
+}

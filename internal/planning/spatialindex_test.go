@@ -1,0 +1,178 @@
+package planning
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// randTree builds a searchTree with the grid armed over bounds, inserting n
+// nodes drawn by gen. It returns the tree; the reference scans run over
+// tree.nodes directly.
+func randTree(bounds geom.AABB, n int, gen func(i int) geom.Vec3) *searchTree {
+	cfg := Config{Bounds: bounds, StepSize: 3, MaxIters: n + 4}
+	t := &searchTree{}
+	t.reset(&cfg, treeNode{pos: gen(0), parent: -1})
+	for i := 1; i < n; i++ {
+		t.add(treeNode{pos: gen(i), parent: 0})
+	}
+	return t
+}
+
+// genUniform draws points uniformly inside bounds; a slice of the drawn
+// points doubles as the tie-generation pool (every 7th point repeats an
+// earlier one exactly, so equal-distance ties actually occur).
+func genUniform(bounds geom.AABB, rng *rand.Rand) func(i int) geom.Vec3 {
+	var drawn []geom.Vec3
+	size := bounds.Size()
+	return func(i int) geom.Vec3 {
+		if i%7 == 3 && len(drawn) > 0 {
+			p := drawn[rng.Intn(len(drawn))] // exact duplicate: forced tie
+			drawn = append(drawn, p)
+			return p
+		}
+		p := bounds.Min.Add(geom.V(
+			rng.Float64()*size.X, rng.Float64()*size.Y, rng.Float64()*size.Z))
+		if i%11 == 5 {
+			// Out-of-bounds stragglers: the mission start can sit outside
+			// the sampling volume, so the index must handle clamped cells.
+			p = p.Add(geom.V((rng.Float64()-0.5)*3*size.X, (rng.Float64()-0.5)*3*size.Y, 0))
+		}
+		drawn = append(drawn, p)
+		return p
+	}
+}
+
+// TestGridIndexNearestMatchesLinear pins the index's nearest against the
+// reference linear scan — exact index equality, including duplicate-position
+// ties and out-of-bounds queries — across random trees and volumes.
+func TestGridIndexNearestMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bounds := []geom.AABB{
+		geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10)),
+		geom.Box(geom.V(-25, -10, 0), geom.V(55, 70, 20)),
+		geom.Box(geom.V(0, 0, 0), geom.V(3, 200, 3)), // degenerate corridor
+	}
+	for bi, b := range bounds {
+		for _, n := range []int{1, 2, 17, 300, 1500} {
+			tree := randTree(b, n, genUniform(b, rng))
+			size := b.Size()
+			for q := 0; q < 400; q++ {
+				p := b.Min.Add(geom.V(rng.Float64()*size.X, rng.Float64()*size.Y, rng.Float64()*size.Z))
+				if q%9 == 0 {
+					p = p.Add(geom.V(size.X*2, -size.Y, 5)) // far outside
+				}
+				got := tree.grid.nearest(p)
+				want := nearest(tree.nodes, p)
+				if got != want {
+					t.Fatalf("bounds %d n=%d query %v: grid nearest=%d (d=%v), linear=%d (d=%v)",
+						bi, n, p, got, tree.nodes[got].pos.DistSq(p), want, tree.nodes[want].pos.DistSq(p))
+				}
+			}
+		}
+	}
+}
+
+// TestGridIndexNearMatchesLinear pins the index's radius query against the
+// reference linear scan: identical index sets in identical (ascending)
+// order, radii spanning sub-cell to whole-volume.
+func TestGridIndexNearMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := geom.Box(geom.V(0, 0, 0), geom.V(60, 45, 12))
+	size := b.Size()
+	for _, n := range []int{1, 40, 800} {
+		tree := randTree(b, n, genUniform(b, rng))
+		for _, radius := range []float64{0.5, 3, 6, 14, 100} {
+			for q := 0; q < 150; q++ {
+				p := b.Min.Add(geom.V(rng.Float64()*size.X, rng.Float64()*size.Y, rng.Float64()*size.Z))
+				got := tree.grid.near(p, radius, nil)
+				want := nearLinear(tree.nodes, p, radius*radius, nil)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d r=%v: grid returned %d ids, linear %d", n, radius, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d r=%v: id %d: grid=%d linear=%d", n, radius, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridIndexEpochReuse verifies per-plan reuse: resetting the same
+// searchTree for a new invocation (same geometry → epoch bump, different
+// geometry → fresh grid) must not leak nodes from the previous plan.
+func TestGridIndexEpochReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10))
+	cfg := Config{Bounds: b, StepSize: 3, MaxIters: 64}
+	tree := &searchTree{}
+	for plan := 0; plan < 50; plan++ {
+		if plan == 25 {
+			// Geometry change mid-life: the grid must rebuild.
+			cfg.Bounds = geom.Box(geom.V(-10, -10, 0), geom.V(50, 50, 20))
+			b = cfg.Bounds
+		}
+		gen := genUniform(b, rng)
+		tree.reset(&cfg, treeNode{pos: gen(0), parent: -1})
+		n := 1 + rng.Intn(60)
+		for i := 1; i < n; i++ {
+			tree.add(treeNode{pos: gen(i), parent: 0})
+		}
+		size := b.Size()
+		for q := 0; q < 60; q++ {
+			p := b.Min.Add(geom.V(rng.Float64()*size.X, rng.Float64()*size.Y, rng.Float64()*size.Z))
+			if got, want := tree.grid.nearest(p), nearest(tree.nodes, p); got != want {
+				t.Fatalf("plan %d query %d: grid nearest=%d linear=%d (stale bucket leak?)", plan, q, got, want)
+			}
+			got := tree.grid.near(p, 6, nil)
+			want := nearLinear(tree.nodes, p, 36, nil)
+			if len(got) != len(want) {
+				t.Fatalf("plan %d: near sizes diverged: %d vs %d", plan, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("plan %d: near id %d: grid=%d linear=%d", plan, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGridIndexCellCap verifies the cell edge doubles until a huge volume
+// fits the bucket cap, and queries stay exact there.
+func TestGridIndexCellCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := geom.Box(geom.V(0, 0, 0), geom.V(5000, 5000, 2000))
+	tree := randTree(b, 500, genUniform(b, rng))
+	if cells := int64(tree.grid.nx) * int64(tree.grid.ny) * int64(tree.grid.nz); cells > maxGridCells {
+		t.Fatalf("grid has %d cells, cap is %d", cells, maxGridCells)
+	}
+	size := b.Size()
+	for q := 0; q < 200; q++ {
+		p := b.Min.Add(geom.V(rng.Float64()*size.X, rng.Float64()*size.Y, rng.Float64()*size.Z))
+		if got, want := tree.grid.nearest(p), nearest(tree.nodes, p); got != want {
+			t.Fatalf("query %v: grid nearest=%d linear=%d", p, got, want)
+		}
+	}
+}
+
+// TestSearchTreeLinearPolicy verifies IndexLinear really bypasses the grid
+// and serves the reference scans.
+func TestSearchTreeLinearPolicy(t *testing.T) {
+	cfg := Config{Bounds: geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10)), StepSize: 3, MaxIters: 8, Index: IndexLinear}
+	tree := &searchTree{}
+	tree.reset(&cfg, treeNode{pos: geom.V(1, 1, 1), parent: -1})
+	tree.add(treeNode{pos: geom.V(9, 9, 9), parent: 0})
+	if tree.useGrid {
+		t.Fatal("IndexLinear armed the grid")
+	}
+	if got := tree.nearest(geom.V(8, 8, 8)); got != 1 {
+		t.Fatalf("nearest = %d", got)
+	}
+	if got := tree.near(geom.V(0, 0, 0), 100, nil); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("near = %v", got)
+	}
+}

@@ -1,0 +1,75 @@
+package planning
+
+import "mavfi/internal/geom"
+
+// searchTree is the tree storage shared by the RRT-family planners: a
+// preallocated node arena plus the bucketed spatial index (gridIndex), both
+// owned by the planner and reused across Plan invocations, replacing the
+// per-Plan ad-hoc node slices the three planners used to grow independently.
+//
+// reset rewinds the arena and re-arms the index in O(1) (epoch bump), so a
+// mission's thousands of replans reuse one allocation. The index path and
+// the reference linear scans return bit-identical answers; Config.Index
+// selects between them (IndexLinear exists for the equivalence and
+// determinism tests, and as the fallback of record).
+//
+// A searchTree — and therefore a Planner that owns one — must not be used
+// from concurrent Plan calls. The campaign engine already guarantees this:
+// every mission constructs its own planner (see internal/pipeline).
+type searchTree struct {
+	nodes   []treeNode
+	grid    gridIndex
+	useGrid bool
+}
+
+// reset prepares the tree for one Plan invocation: rewinds the arena
+// (growing it once to the iteration budget), arms the spatial index per the
+// config policy, and seeds the root node.
+func (t *searchTree) reset(cfg *Config, root treeNode) {
+	if want := cfg.MaxIters + 2; cap(t.nodes) < want {
+		t.nodes = make([]treeNode, 0, want)
+	}
+	t.nodes = t.nodes[:0]
+	t.useGrid = cfg.Index != IndexLinear
+	if t.useGrid {
+		t.grid.configure(cfg.Bounds, 4*cfg.StepSize)
+	}
+	t.add(root)
+}
+
+// linearCutoff is the tree size below which queries use the linear scans
+// even when the index is armed: for a handful of nodes the flat scan beats
+// bucket bookkeeping, and since both paths are bit-identical the switch is
+// invisible. Inserts always maintain the index so the crossover is free.
+const linearCutoff = 48
+
+// add appends a node to the arena (and its bucket) and returns its index.
+func (t *searchTree) add(n treeNode) int {
+	t.nodes = append(t.nodes, n)
+	id := len(t.nodes) - 1
+	if t.useGrid {
+		t.grid.insert(int32(id), n.pos)
+	}
+	return id
+}
+
+// len returns the number of nodes in the tree.
+func (t *searchTree) len() int { return len(t.nodes) }
+
+// nearest returns the index of the tree node closest to p (first-min,
+// lowest-index tie-break), via the index or the reference linear scan.
+func (t *searchTree) nearest(p geom.Vec3) int {
+	if t.useGrid && len(t.nodes) >= linearCutoff {
+		return t.grid.nearest(p)
+	}
+	return nearest(t.nodes, p)
+}
+
+// near appends to out the indices of every node within radius of p
+// (inclusive), ascending, via the index or the reference linear scan.
+func (t *searchTree) near(p geom.Vec3, radius float64, out []int32) []int32 {
+	if t.useGrid && len(t.nodes) >= linearCutoff {
+		return t.grid.near(p, radius, out)
+	}
+	return nearLinear(t.nodes, p, radius*radius, out)
+}

@@ -102,6 +102,23 @@ type Planner interface {
 // connecting start to goal.
 var ErrNoPath = errors.New("planning: no path found")
 
+// IndexPolicy selects how the RRT-family planners answer their nearest-node
+// and neighbourhood tree queries. Both policies return bit-identical
+// results — the bucketed index reproduces the linear scans' first-min,
+// lowest-index tie-breaking exactly (pinned by the equivalence and
+// determinism tests) — so the policy is a pure performance knob.
+type IndexPolicy int
+
+const (
+	// IndexAuto (the zero value, and the default) uses the bucketed grid
+	// index.
+	IndexAuto IndexPolicy = iota
+	// IndexGrid forces the epoch-stamped bucketed grid index.
+	IndexGrid
+	// IndexLinear forces the reference linear scans over the node arena.
+	IndexLinear
+)
+
 // Config holds the sampling parameters shared by the RRT-family planners.
 type Config struct {
 	// Bounds is the sampling volume.
@@ -116,6 +133,9 @@ type Config struct {
 	GoalTol float64
 	// RewireRadius is the RRT* neighbourhood radius.
 	RewireRadius float64
+	// Index selects the spatial-index policy for tree queries
+	// (bit-identical either way; see IndexPolicy).
+	Index IndexPolicy
 }
 
 // DefaultConfig returns the experiment planner configuration for a flight
@@ -160,8 +180,10 @@ type treeNode struct {
 	cost   float64
 }
 
-// nearest returns the index of the tree node closest to p (linear scan; tree
-// sizes in this workload stay in the low thousands).
+// nearest returns the index of the tree node closest to p by linear scan:
+// the reference implementation of the first-min rule (strictly smaller
+// squared distance wins; ties keep the lowest index) that the bucketed
+// gridIndex must reproduce bit-identically.
 func nearest(tree []treeNode, p geom.Vec3) int {
 	best, bestD := 0, tree[0].pos.DistSq(p)
 	for i := 1; i < len(tree); i++ {
@@ -170,6 +192,18 @@ func nearest(tree []treeNode, p geom.Vec3) int {
 		}
 	}
 	return best
+}
+
+// nearLinear appends to out the index of every tree node within squared
+// distance r2 of p (inclusive), in ascending index order: the reference
+// neighbourhood query the gridIndex must reproduce bit-identically.
+func nearLinear(tree []treeNode, p geom.Vec3, r2 float64, out []int32) []int32 {
+	for i := range tree {
+		if tree[i].pos.DistSq(p) <= r2 {
+			out = append(out, int32(i))
+		}
+	}
+	return out
 }
 
 // extractPath walks parents from leaf to root and returns the path in

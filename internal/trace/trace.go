@@ -26,8 +26,31 @@ type Trace struct {
 	Samples []Sample
 }
 
-// Add appends a sample.
+// Add appends a sample. Within a Reserve'd capacity Add never allocates,
+// which is how recorded missions keep the steady-state tick loop
+// allocation-free.
 func (t *Trace) Add(s Sample) { t.Samples = append(t.Samples, s) }
+
+// Reserve grows the sample storage to hold at least n samples without
+// reallocation, so a recorder that knows its tick budget (the mission loop
+// reserves MaxMissionS/TickS up front) pays one allocation instead of a
+// log₂(n) growth chain of per-tick reallocations mid-flight.
+func (t *Trace) Reserve(n int) {
+	if cap(t.Samples) < n {
+		s := make([]Sample, len(t.Samples), n)
+		copy(s, t.Samples)
+		t.Samples = s
+	}
+}
+
+// Reset empties the trace for reuse, keeping the reserved storage: together
+// with Reserve this makes a Trace a reusable ring-style buffer — a caller
+// recording many missions in turn can recycle one Trace (and its one
+// allocation) across all of them.
+func (t *Trace) Reset() {
+	t.Samples = t.Samples[:0]
+	t.Label = ""
+}
 
 // MarkEvent tags the most recent sample with an event (appending when the
 // sample already carries one).

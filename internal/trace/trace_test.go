@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mavfi/internal/geom"
+	"mavfi/internal/testutil"
 )
 
 func lineTrace() *Trace {
@@ -95,5 +96,53 @@ func TestWriteAllCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "golden,") || !strings.Contains(out, "fault,") {
 		t.Error("labels missing")
+	}
+}
+
+func TestTraceReserveAddAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are meaningless under -race instrumentation")
+	}
+	tr := &Trace{}
+	const n = 1800 // a full mission at the default tick budget
+	tr.Reserve(n)
+	if allocs := testing.AllocsPerRun(20, func() {
+		tr.Reset()
+		for i := 0; i < n; i++ {
+			tr.Add(Sample{T: float64(i), Pos: geom.V(float64(i), 0, 2)})
+		}
+		tr.MarkEvent("replan")
+	}); allocs != 0 {
+		t.Fatalf("recording %d samples into a reserved trace allocates %v objects per mission, want 0", n, allocs)
+	}
+}
+
+func TestTraceResetKeepsStorage(t *testing.T) {
+	tr := lineTrace()
+	tr.Reserve(64)
+	c := cap(tr.Samples)
+	tr.Reset()
+	if len(tr.Samples) != 0 || tr.Label != "" {
+		t.Fatalf("Reset left len=%d label=%q", len(tr.Samples), tr.Label)
+	}
+	if cap(tr.Samples) != c {
+		t.Fatalf("Reset dropped storage: cap %d → %d", c, cap(tr.Samples))
+	}
+}
+
+func TestTraceReservePreservesSamples(t *testing.T) {
+	tr := lineTrace()
+	want := append([]Sample(nil), tr.Samples...)
+	tr.Reserve(4096)
+	if cap(tr.Samples) < 4096 {
+		t.Fatalf("cap = %d after Reserve(4096)", cap(tr.Samples))
+	}
+	if len(tr.Samples) != len(want) {
+		t.Fatalf("Reserve changed len: %d → %d", len(want), len(tr.Samples))
+	}
+	for i := range want {
+		if tr.Samples[i] != want[i] {
+			t.Fatalf("Reserve corrupted sample %d", i)
+		}
 	}
 }
