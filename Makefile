@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan docs-check
+.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan bench-probes docs-check
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,7 @@ test-race:
 # engine scaling curve, and the perception micro-benchmarks, and records the
 # machine-readable perf trajectory in $(BENCH_JSON) (benchmark → ns/op,
 # allocs/op, custom metrics). Scale campaigns with MAVFI_BENCH_RUNS.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./... > $(BENCH_JSON).raw
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).raw
@@ -52,6 +52,12 @@ bench-smoke:
 # enough for every PR.
 bench-plan:
 	$(GO) test -bench 'BenchmarkPlan$$' -benchtime=1x -run '^$$' ./internal/pipeline
+
+# bench-probes is the collision-probe regression smoke: one iteration each of
+# the octomap segment queries the PR 5 fused walker + occupancy summary
+# optimised, so a probe-path regression fails as its own CI step.
+bench-probes:
+	$(GO) test -bench 'Benchmark(SegmentFree|FirstBlocked)$$' -benchtime=1x -run '^$$' ./internal/octomap
 
 # docs-check is the CI documentation gate: every internal/ package must have
 # a godoc package comment, and relative Markdown links in *.md and docs/

@@ -30,9 +30,13 @@ func TestInsertCloudSteadyStateAllocFree(t *testing.T) {
 	}
 }
 
-// TestCollisionQueriesAllocFree pins the PR3 contract on the query side: the
-// DDA segment queries and the armed classification cache allocate nothing
-// per probe (the cache grid is a one-time EnableClassCache allocation).
+// TestCollisionQueriesAllocFree pins the PR3 contract on the query side,
+// extended in PR 5 over every fused-walker regime: the DDA segment queries
+// and the armed classification cache allocate nothing per probe (the cache
+// grid is a one-time EnableClassCache allocation), across the prescan fast
+// path, walks the prescan declines, the slab-clip delegation for offset rays
+// leaving the volume, zero-radius probes, and the pessimistic policy the
+// summary stands aside for.
 func TestCollisionQueriesAllocFree(t *testing.T) {
 	if testutil.RaceEnabled {
 		t.Skip("alloc counts are meaningless under -race instrumentation")
@@ -44,10 +48,20 @@ func TestCollisionQueriesAllocFree(t *testing.T) {
 	tr.InsertCloud(origin, randomScan(rng, origin, 300))
 	tr.EnableClassCache()
 	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	qPess := QueryPolicy{UnknownIsFree: false, Radius: 0.55}
+	qThin := QueryPolicy{UnknownIsFree: true}
 	a, b := geom.V(3, 3, 3), geom.V(29, 28, 9)
+	edgeA, edgeB := geom.V(0.3, 5, 0.3), geom.V(2, 9, 0.4) // offset rays exit the volume
+	free1, free2 := geom.V(3.2, 24.4, 12.1), geom.V(5.6, 26.0, 12.8)
 	if allocs := testing.AllocsPerRun(50, func() {
 		tr.SegmentFree(a, b, q)
 		tr.FirstBlocked(a, b, q)
+		tr.SegmentFree(free1, free2, q) // prescan fast path in unobserved space
+		tr.FirstBlocked(free1, free2, q)
+		tr.SegmentFree(edgeA, edgeB, q)
+		tr.FirstBlocked(edgeA, edgeB, q) // slab-clip delegation
+		tr.SegmentFree(a, b, qPess)
+		tr.SegmentFree(a, b, qThin)
 		tr.PointFree(a, q)
 	}); allocs != 0 {
 		t.Fatalf("steady-state collision queries allocate %v objects, want 0", allocs)

@@ -1,0 +1,355 @@
+package octomap
+
+import "mavfi/internal/geom"
+
+// This file implements the PR 5 fused 7-ray walker behind SegmentFree and
+// FirstBlocked. A collision query probes the centre segment a→b plus six
+// offset segments (a+o)→(b+o) with axis-aligned offsets o (see probeOffsets):
+// all seven rays share one direction, and an axis-aligned offset perturbs
+// exactly one coordinate of both endpoints. Every quantity the per-ray DDA
+// setup derives — endpoint keys, in-volume checks, the nudged clip points,
+// and the initAxis stepping state — is computed axis-by-axis from that one
+// coordinate, so an offset ray shares two of its three axis states with the
+// centre ray bit-for-bit and needs exactly one axis recomputed. The fused
+// walker therefore initialises the direction once (three initAxis calls for
+// the centre ray) and derives each offset ray by swapping in a single fresh
+// axis (one more initAxis each): 9 axis initialisations replacing the 21 the
+// per-ray walks performed, and one third of the endpoint keying.
+//
+// Bit-identity is structural, not approximate: for the two shared axes the
+// sequential walk computes a.Y + 0 (adding the zero offset component), which
+// IEEE-754 guarantees returns a.Y for every value except -0.0 — and for -0.0
+// the +0.0 it returns is indistinguishable downstream (key comparison,
+// truncation, and the DDA arithmetic never branch on the sign of zero). The
+// recomputed axis runs the exact expression sequence of the sequential path
+// (same nudges, same division order), and the walk loops below are verbatim
+// copies of the per-ray loops. The rays are walked strictly in the sequential
+// order — centre first, then offsets in probeOffsets order, early exit on the
+// first blocked ray — so the classification-probe sequence, every result bit,
+// and FirstBlocked's earliest-crossing fraction are identical to the retained
+// per-ray reference (pinned by the fused-vs-sequential equivalence suite in
+// fusedwalk_test.go, probe sequences included).
+//
+// On top of the fusion sits the occupancy-summary prescan (bundleAllFree,
+// backed by occSummary): before walking anything, the query checks whether
+// every 8³ block any of the seven walks could possibly classify holds zero
+// Occupied leaves. When it does — the common case for a vehicle probing open
+// space — the whole query answers without stepping a single voxel, because
+// under a policy that blocks only on Occupied voxels no classification in
+// those blocks can come back blocked. When the prescan fails, the walks run
+// voxel-for-voxel identical to the per-ray reference with no summary
+// overhead in the loop, so the result is bit-identical either way and every
+// probe the prescan elides provably lies in a zero-count block.
+
+// rayAxis is the single-axis slice of one probe ray's endpoint checks and
+// DDA setup: everything rayFree/rayFirstBlocked derive from one coordinate
+// of (a, b). Combining three of these reproduces the sequential per-ray
+// setup bit-for-bit.
+type rayAxis struct {
+	ak         int  // start-endpoint key component (valid when aIn)
+	aIn, bIn   bool // endpoint coordinates inside the root slab on this axis
+	eq         bool // endpoint coordinates equal on this axis
+	x, ex      int  // clipped-walk start/end key components (valid when *In)
+	p0In, p1In bool // nudged clip points inside the root slab on this axis
+	step       int
+	tMax       float64
+	tDelta     float64
+}
+
+// fillRayAxis computes into ax the axis state for endpoint coordinates
+// (av, bv) on the axis whose root-cube origin coordinate is originv (filled
+// in place: the struct is larger than the return registers and these run
+// nine times per query). The arithmetic is the exact per-axis expression
+// sequence of rayFree + seedWalk(0, 1): the same range checks key()
+// performs, the same 1e-9 inward nudges, and the same initAxis call, so
+// three combined axis states are bit-identical to the sequential setup.
+func (t *Tree) fillRayAxis(ax *rayAxis, av, bv, originv float64) {
+	relA := av - originv
+	ax.aIn = relA >= 0 && relA < t.rootSize
+	if ax.aIn {
+		ax.ak = t.keyComp(relA)
+	}
+	relB := bv - originv
+	ax.bIn = relB >= 0 && relB < t.rootSize
+	ax.eq = av == bv
+	t0, t1 := 0.0, 1.0 // typed values: IEEE semantics, exactly as seedWalk computes
+	d := bv - av
+	p0 := av + d*(t0+1e-9)
+	p1 := av + d*(t1-1e-9)
+	relP0 := p0 - originv
+	ax.p0In = relP0 >= 0 && relP0 < t.rootSize
+	if ax.p0In {
+		ax.x = t.keyComp(relP0)
+	}
+	relP1 := p1 - originv
+	ax.p1In = relP1 >= 0 && relP1 < t.rootSize
+	if ax.p1In {
+		ax.ex = t.keyComp(relP1)
+	}
+	ax.step, ax.tMax, ax.tDelta = initAxis(relP0, p1-p0, t.resolution)
+}
+
+// multiWalker holds the fused setup of one collision query: the centre ray's
+// three axis states plus a scratch slot for the one axis each offset ray
+// recomputes. Queries keep it on the stack; nothing escapes.
+type multiWalker struct {
+	x, y, z rayAxis // centre-ray axis states
+	o       rayAxis // scratch: the recomputed axis of the current offset ray
+}
+
+// init computes the centre-ray axis states for the segment a→b.
+func (m *multiWalker) init(t *Tree, a, b geom.Vec3) {
+	t.fillRayAxis(&m.x, a.X, b.X, t.origin.X)
+	t.fillRayAxis(&m.y, a.Y, b.Y, t.origin.Y)
+	t.fillRayAxis(&m.z, a.Z, b.Z, t.origin.Z)
+}
+
+// summaryView returns the block counts the prescan may trust, or nil when
+// the summary is unsound for the policy: a zero count proves a block free of
+// Occupied voxels only, so only a policy that blocks on nothing but Occupied
+// (UnknownIsFree; Free never blocks) may elide classification loads.
+func (t *Tree) summaryView(q QueryPolicy) ([]uint16, int) {
+	if !q.UnknownIsFree {
+		return nil, 0
+	}
+	return t.sum.counts, t.sum.nb
+}
+
+// axisBundleKeys folds into (lo, hi) the inclusive key range, on one axis,
+// of every voxel the seven probe walks of a radius-r query could classify
+// along that axis. ok is false when an offset endpoint coordinate leaves the
+// root slab on this axis (some probe ray then crosses out-of-volume space,
+// or the bundle is otherwise not fast-path eligible).
+//
+// The range covers, per ray: the start-endpoint key (ak), the clipped-walk
+// start and end keys (x, ex), and the walk's defensive overshoot. The offset
+// rays' perturbed-axis keys are derived from the exact fl(coord±r) the
+// sequential path computes; their nudged clip points can shift a key by at
+// most one, and an exhausted walk can drift at most three defensive steps
+// past its end key (maxSteps is the Manhattan distance plus 3), hence the
+// fixed ±4 slack.
+func (t *Tree) axisBundleKeys(ax *rayAxis, av, bv, r, originv float64) (lo, hi int, ok bool) {
+	if !ax.aIn || !ax.bIn || !ax.p0In || !ax.p1In {
+		return 0, 0, false
+	}
+	relAP := (av + r) - originv
+	relAM := (av - r) - originv
+	relBP := (bv + r) - originv
+	relBM := (bv - r) - originv
+	if relAM < 0 || relBM < 0 || relAP >= t.rootSize || relBP >= t.rootSize {
+		return 0, 0, false
+	}
+	lo, hi = ax.ak, ax.ak
+	for _, k := range [6]int{ax.x, ax.ex, t.keyComp(relAP), t.keyComp(relAM), t.keyComp(relBP), t.keyComp(relBM)} {
+		if k < lo {
+			lo = k
+		} else if k > hi {
+			hi = k
+		}
+	}
+	lo -= 4
+	hi += 4
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= t.maxKey {
+		hi = t.maxKey - 1
+	}
+	return lo, hi, true
+}
+
+// bundleAllFree reports whether the whole 7-ray query bundle is provably
+// free without walking: every endpoint of every probe ray keys inside the
+// volume and every summary block overlapping the keys any walk could
+// classify holds zero Occupied leaves. The key coverage argument lives on
+// axisBundleKeys; given it, a true return is exact — the sequential walks
+// would classify only voxels in zero-count blocks, under a policy where
+// only Occupied voxels block, and would therefore return "free".
+func (t *Tree) bundleAllFree(m *multiWalker, a, b geom.Vec3, q QueryPolicy) bool {
+	counts, nb := t.summaryView(q)
+	if counts == nil {
+		return false
+	}
+	r := q.Radius
+	loX, hiX, ok := t.axisBundleKeys(&m.x, a.X, b.X, r, t.origin.X)
+	if !ok {
+		return false
+	}
+	loY, hiY, ok := t.axisBundleKeys(&m.y, a.Y, b.Y, r, t.origin.Y)
+	if !ok {
+		return false
+	}
+	loZ, hiZ, ok := t.axisBundleKeys(&m.z, a.Z, b.Z, r, t.origin.Z)
+	if !ok {
+		return false
+	}
+	loX >>= summaryBlockShift
+	hiX >>= summaryBlockShift
+	loY >>= summaryBlockShift
+	hiY >>= summaryBlockShift
+	loZ >>= summaryBlockShift
+	hiZ >>= summaryBlockShift
+	for bz := loZ; bz <= hiZ; bz++ {
+		for by := loY; by <= hiY; by++ {
+			base := (bz*nb + by) * nb
+			for bx := loX; bx <= hiX; bx++ {
+				if counts[base+bx] != 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// walkFree reports whether every voxel crossed by the single probe ray whose
+// axis states are (ax, ay, az) is unblocked, with the whole segment inside
+// the mapped volume — rayFree rebuilt on fused axis state, mirroring it
+// statement for statement (it runs only when the bundle prescan could not
+// prove the query free, so the loop carries no summary overhead).
+func (t *Tree) walkFree(ax, ay, az *rayAxis, q QueryPolicy, cp *classProbe) bool {
+	if !ax.aIn || !ay.aIn || !az.aIn {
+		return false
+	}
+	if !ax.bIn || !ay.bIn || !az.bIn {
+		// The volume is convex: an endpoint outside means part of the
+		// segment crosses out-of-volume (Occupied) space.
+		return false
+	}
+	if q.blocked(cp.classify(ax.ak, ay.ak, az.ak)) {
+		return false
+	}
+	if ax.eq && ay.eq && az.eq {
+		return true
+	}
+	if !ax.p0In || !ay.p0In || !az.p0In || !ax.p1In || !ay.p1In || !az.p1In {
+		return true // nudged clip points key outside: the walk yields no voxels
+	}
+	// Hoist every per-step quantity into locals: the loop below runs one
+	// iteration per crossed voxel across seven rays per query, and loads
+	// through the axis pointers would re-run on every step.
+	x, y, z := ax.x, ay.x, az.x
+	ex, ey, ez := ax.ex, ay.ex, az.ex
+	stepX, stepY, stepZ := ax.step, ay.step, az.step
+	tMaxX, tMaxY, tMaxZ := ax.tMax, ay.tMax, az.tMax
+	tDeltaX, tDeltaY, tDeltaZ := ax.tDelta, ay.tDelta, az.tDelta
+	maxSteps := abs(ex-x) + abs(ey-y) + abs(ez-z) + 3
+	maxKey := t.maxKey
+	tNext := 0.0
+	for steps := 0; steps < maxSteps; steps++ {
+		tEntry := tNext
+		if tEntry > 1+1e-9 || x < 0 || y < 0 || z < 0 || x >= maxKey || y >= maxKey || z >= maxKey {
+			// Walker overshoot artifact, not a crossed voxel: a near-zero
+			// axis delta below the DDA threshold (step 0) with endpoints
+			// straddling that axis's voxel boundary makes the end key
+			// unreachable, and the walk spends its defensive step budget
+			// drifting past the segment end (a genuinely crossed voxel is
+			// entered at parameter ≤ 1 and in-range, and the end voxel
+			// terminates the walk before either guard can trip).
+			return true
+		}
+		// Manually inlined classProbe.classify hit path: one predictable
+		// branch and one byte load per crossed voxel on a warm cache.
+		var o Occupancy
+		if cp.grid != nil && x < cp.nx && y < cp.ny && z < cp.nz {
+			if v := cp.grid[(z*cp.ny+y)*cp.nx+x]; v>>2 == cp.epoch {
+				o = Occupancy(v & 3)
+			} else {
+				o = cp.classify(x, y, z)
+			}
+		} else {
+			o = cp.classify(x, y, z)
+		}
+		if q.blocked(o) {
+			return false
+		}
+		if x == ex && y == ey && z == ez {
+			return true // end voxel reached, walk exhausted
+		}
+		switch {
+		case tMaxX <= tMaxY && tMaxX <= tMaxZ:
+			x += stepX
+			tNext = tMaxX
+			tMaxX += tDeltaX
+		case tMaxY <= tMaxZ:
+			y += stepY
+			tNext = tMaxY
+			tMaxY += tDeltaY
+		default:
+			z += stepZ
+			tNext = tMaxZ
+			tMaxZ += tDeltaZ
+		}
+	}
+	return true
+}
+
+// walkFirstBlocked returns the parametric position along the single probe
+// ray a→b (whose axis states are (ax, ay, az)) at which the ray first enters
+// blocked space, and whether any such position exists — rayFirstBlocked
+// rebuilt on fused axis state. A ray whose far endpoint keys outside the
+// volume needs the slab clip; that rare case delegates to the retained
+// sequential rayFirstBlocked, which is the same code the reference runs.
+func (t *Tree) walkFirstBlocked(a, b geom.Vec3, ax, ay, az *rayAxis, q QueryPolicy, cp *classProbe) (float64, bool) {
+	if !ax.aIn || !ay.aIn || !az.aIn {
+		return 0, true // starts in out-of-volume (Occupied) space
+	}
+	if !ax.bIn || !ay.bIn || !az.bIn {
+		return t.rayFirstBlocked(a, b, q, cp) // slab-clipped walk, rare
+	}
+	if q.blocked(cp.classify(ax.ak, ay.ak, az.ak)) {
+		return 0, true // starts inside a blocked voxel
+	}
+	if ax.eq && ay.eq && az.eq {
+		return 0, false
+	}
+	if !ax.p0In || !ay.p0In || !az.p0In || !ax.p1In || !ay.p1In || !az.p1In {
+		return 0, false // walk yields no voxels; both endpoints key inside
+	}
+	t0, t1 := 0.0, 1.0
+	clipLo := t0 + 1e-9
+	clipSpan := (t1 - 1e-9) - clipLo
+	x, y, z := ax.x, ay.x, az.x
+	ex, ey, ez := ax.ex, ay.ex, az.ex
+	stepX, stepY, stepZ := ax.step, ay.step, az.step
+	tMaxX, tMaxY, tMaxZ := ax.tMax, ay.tMax, az.tMax
+	tDeltaX, tDeltaY, tDeltaZ := ax.tDelta, ay.tDelta, az.tDelta
+	maxSteps := abs(ex-x) + abs(ey-y) + abs(ez-z) + 3
+	maxKey := t.maxKey
+	tNext := 0.0
+	for steps := 0; steps < maxSteps; steps++ {
+		tEntry := tNext
+		if tEntry > 1+1e-9 || x < 0 || y < 0 || z < 0 || x >= maxKey || y >= maxKey || z >= maxKey {
+			break // walker overshoot artifact; see walkFree
+		}
+		if q.blocked(cp.classify(x, y, z)) {
+			// segParam on the (0,1) seed: map the clipped-walk entry back to
+			// the caller's a→b parameterisation, clamped to [0,1].
+			f := clipLo + tEntry*clipSpan
+			if f < 0 {
+				f = 0
+			} else if f > 1 {
+				f = 1
+			}
+			return f, true
+		}
+		if x == ex && y == ey && z == ez {
+			break // end voxel classified, walk exhausted
+		}
+		switch {
+		case tMaxX <= tMaxY && tMaxX <= tMaxZ:
+			x += stepX
+			tNext = tMaxX
+			tMaxX += tDeltaX
+		case tMaxY <= tMaxZ:
+			y += stepY
+			tNext = tMaxY
+			tMaxY += tDeltaY
+		default:
+			z += stepZ
+			tNext = tMaxZ
+			tMaxZ += tDeltaZ
+		}
+	}
+	return 0, false // both endpoints key inside: a clean walk has no crossing
+}

@@ -1,0 +1,243 @@
+package octomap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// segmentFreeSeq is the pre-PR5 per-ray SegmentFree, retained verbatim as
+// the sequential reference of the fused-vs-sequential equivalence gate: one
+// independent rayFree walk per probe ray, centre first, then the offsets in
+// probeOffsets order.
+func segmentFreeSeq(t *Tree, a, b geom.Vec3, q QueryPolicy) bool {
+	cp := t.classProbeView()
+	if !t.rayFree(a, b, q, &cp) {
+		return false
+	}
+	if q.Radius <= 0 {
+		return true
+	}
+	for _, d := range probeOffsets(q.Radius) {
+		if !t.rayFree(a.Add(d), b.Add(d), q, &cp) {
+			return false
+		}
+	}
+	return true
+}
+
+// firstBlockedSeq is the pre-PR5 per-ray FirstBlocked reference.
+func firstBlockedSeq(t *Tree, a, b geom.Vec3, q QueryPolicy) (float64, bool) {
+	cp := t.classProbeView()
+	first := math.Inf(1)
+	if f, blocked := t.rayFirstBlocked(a, b, q, &cp); blocked {
+		first = f
+	}
+	if q.Radius > 0 {
+		for _, d := range probeOffsets(q.Radius) {
+			if f, blocked := t.rayFirstBlocked(a.Add(d), b.Add(d), q, &cp); blocked && f < first {
+				first = f
+			}
+		}
+	}
+	if math.IsInf(first, 1) {
+		return 0, false
+	}
+	return first, true
+}
+
+// fusedTestPolicies are the policies the equivalence suite sweeps: the
+// pipeline's optimistic navigation policy, a pessimistic variant (unknown
+// blocks, so the occupancy summary must stand aside), and a zero-radius
+// probe (centre ray only).
+var fusedTestPolicies = []QueryPolicy{
+	{UnknownIsFree: true, Radius: 0.55},
+	{UnknownIsFree: false, Radius: 0.55},
+	{UnknownIsFree: true, Radius: 0},
+}
+
+// fusedTestSegments draws the segment mix the suite probes: interior
+// segments like the planner's, plus near-boundary segments whose offset
+// rays leave the volume (exercising the out-of-volume early exits and the
+// slab-clip delegation) and degenerate zero-length probes.
+func fusedTestSegments(rng *rand.Rand, n int) [][2]geom.Vec3 {
+	segs := make([][2]geom.Vec3, 0, n)
+	for i := 0; i < n; i++ {
+		var a, b geom.Vec3
+		switch i % 5 {
+		case 0, 1, 2: // interior, RRT*-edge-length
+			a = randomInteriorPoint(rng)
+			b = a.Add(geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()*0.4).Normalize().Scale(rng.Float64()*4 + 0.5))
+		case 3: // hugging the volume boundary: offset rays key outside
+			a = geom.V(rng.Float64()*2+0.1, rng.Float64()*30+1, rng.Float64()*0.4+0.1)
+			b = a.Add(geom.V(rng.Float64()*6-3, rng.Float64()*6-3, rng.Float64()*1.5))
+		default: // crossing out of the volume, or zero length
+			a = randomInteriorPoint(rng)
+			if rng.Intn(2) == 0 {
+				b = a
+			} else {
+				b = a.Add(geom.V(40, rng.Float64()*4-2, 0))
+			}
+		}
+		segs = append(segs, [2]geom.Vec3{a, b})
+	}
+	return segs
+}
+
+// TestFusedMatchesSequentialRandomized is the PR 5 equivalence gate on
+// results: across the query_test.go worlds, every policy, and a
+// boundary-heavy segment mix, the fused SegmentFree/FirstBlocked (occupancy
+// summary active) must reproduce the sequential per-ray reference
+// bit-for-bit, fraction bits included.
+func TestFusedMatchesSequentialRandomized(t *testing.T) {
+	for _, seed := range []int64{21, 31, 41, 77} {
+		tr := queryTestTree(seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		segs := fusedTestSegments(rng, 500)
+		for _, q := range fusedTestPolicies {
+			for si, s := range segs {
+				gotFree := tr.SegmentFree(s[0], s[1], q)
+				wantFree := segmentFreeSeq(tr, s[0], s[1], q)
+				if gotFree != wantFree {
+					t.Fatalf("seed %d seg %d policy %+v: fused SegmentFree=%v sequential=%v (%v→%v)",
+						seed, si, q, gotFree, wantFree, s[0], s[1])
+				}
+				gotF, gotOK := tr.FirstBlocked(s[0], s[1], q)
+				wantF, wantOK := firstBlockedSeq(tr, s[0], s[1], q)
+				if gotOK != wantOK || math.Float64bits(gotF) != math.Float64bits(wantF) {
+					t.Fatalf("seed %d seg %d policy %+v: fused FirstBlocked=(%v,%v) sequential=(%v,%v) (%v→%v)",
+						seed, si, q, gotF, gotOK, wantF, wantOK, s[0], s[1])
+				}
+			}
+		}
+	}
+}
+
+// recordProbes runs fn with the classification-probe recorder armed and the
+// classification cache guaranteed cold-free (the recorder hooks classifySlow,
+// which every probe reaches only while the cache is unarmed), returning the
+// exact probe sequence fn caused.
+func recordProbes(tr *Tree, fn func()) [][3]int {
+	var rec [][3]int
+	tr.probeRec = func(x, y, z int) { rec = append(rec, [3]int{x, y, z}) }
+	fn()
+	tr.probeRec = nil
+	return rec
+}
+
+// TestFusedProbeSequenceMatchesSequential pins the fused walker's traversal
+// itself, not just its answers: with the occupancy summary disarmed (so
+// nothing is elided) the fused queries must classify exactly the voxels the
+// sequential reference classifies, in exactly the same order. The trees stay
+// cache-unarmed so every classification funnels through the recorded
+// classifySlow path.
+func TestFusedProbeSequenceMatchesSequential(t *testing.T) {
+	tr := queryTestTree(51)
+	savedCounts := tr.sum.counts
+	tr.sum.counts = nil // disarm the summary: fused must probe like sequential
+	defer func() { tr.sum.counts = savedCounts }()
+	rng := rand.New(rand.NewSource(52))
+	segs := fusedTestSegments(rng, 300)
+	for _, q := range fusedTestPolicies {
+		for si, s := range segs {
+			var gotFree, wantFree bool
+			fused := recordProbes(tr, func() { gotFree = tr.SegmentFree(s[0], s[1], q) })
+			seq := recordProbes(tr, func() { wantFree = segmentFreeSeq(tr, s[0], s[1], q) })
+			if gotFree != wantFree {
+				t.Fatalf("seg %d policy %+v: SegmentFree fused=%v sequential=%v", si, q, gotFree, wantFree)
+			}
+			assertSameProbes(t, "SegmentFree", si, q, fused, seq)
+
+			var gotF, wantF float64
+			var gotOK, wantOK bool
+			fused = recordProbes(tr, func() { gotF, gotOK = tr.FirstBlocked(s[0], s[1], q) })
+			seq = recordProbes(tr, func() { wantF, wantOK = firstBlockedSeq(tr, s[0], s[1], q) })
+			if gotOK != wantOK || math.Float64bits(gotF) != math.Float64bits(wantF) {
+				t.Fatalf("seg %d policy %+v: FirstBlocked fused=(%v,%v) sequential=(%v,%v)", si, q, gotF, gotOK, wantF, wantOK)
+			}
+			assertSameProbes(t, "FirstBlocked", si, q, fused, seq)
+		}
+	}
+}
+
+func assertSameProbes(t *testing.T, what string, si int, q QueryPolicy, fused, seq [][3]int) {
+	t.Helper()
+	if len(fused) != len(seq) {
+		t.Fatalf("seg %d policy %+v: %s probe counts diverge: fused %d sequential %d",
+			si, q, what, len(fused), len(seq))
+	}
+	for i := range fused {
+		if fused[i] != seq[i] {
+			t.Fatalf("seg %d policy %+v: %s probe %d diverges: fused %v sequential %v",
+				si, q, what, i, fused[i], seq[i])
+		}
+	}
+}
+
+// TestSummaryElisionAlignment pins the prescan's elision invariant: with the
+// summary armed, the probe sequence of a query must be exactly the unarmed
+// sequence with zero or more probes elided, every elided probe must lie in a
+// summary block with a zero occupied count, and the answers must stay
+// bit-identical. (The prescan elides either nothing or a whole query, and
+// only when every block in the bundle's reach is zero-count — this test
+// verifies that claim probe by probe rather than trusting the range
+// analysis.)
+func TestSummaryElisionAlignment(t *testing.T) {
+	tr := queryTestTree(61)
+	if tr.sum.counts == nil {
+		t.Fatal("test tree unexpectedly over the summary cap")
+	}
+	rng := rand.New(rand.NewSource(62))
+	segs := fusedTestSegments(rng, 400)
+	q := testPolicy // the optimistic policy is the only one the summary serves
+	for si, s := range segs {
+		savedCounts := tr.sum.counts
+
+		var sumFree bool
+		withSum := recordProbes(tr, func() { sumFree = tr.SegmentFree(s[0], s[1], q) })
+		tr.sum.counts = nil
+		var plainFree bool
+		plain := recordProbes(tr, func() { plainFree = tr.SegmentFree(s[0], s[1], q) })
+		tr.sum.counts = savedCounts
+
+		if sumFree != plainFree {
+			t.Fatalf("seg %d: SegmentFree with summary=%v without=%v", si, sumFree, plainFree)
+		}
+		assertElisionAligned(t, tr, "SegmentFree", si, withSum, plain)
+
+		var sumF, plainF float64
+		var sumOK, plainOK bool
+		withSum = recordProbes(tr, func() { sumF, sumOK = tr.FirstBlocked(s[0], s[1], q) })
+		tr.sum.counts = nil
+		plain = recordProbes(tr, func() { plainF, plainOK = tr.FirstBlocked(s[0], s[1], q) })
+		tr.sum.counts = savedCounts
+
+		if sumOK != plainOK || math.Float64bits(sumF) != math.Float64bits(plainF) {
+			t.Fatalf("seg %d: FirstBlocked with summary=(%v,%v) without=(%v,%v)", si, sumF, sumOK, plainF, plainOK)
+		}
+		assertElisionAligned(t, tr, "FirstBlocked", si, withSum, plain)
+	}
+}
+
+// assertElisionAligned checks withSum is plain with elisions only, each
+// elided probe falling in a zero-count summary block.
+func assertElisionAligned(t *testing.T, tr *Tree, what string, si int, withSum, plain [][3]int) {
+	t.Helper()
+	j := 0
+	for _, p := range plain {
+		if j < len(withSum) && withSum[j] == p {
+			j++
+			continue
+		}
+		// Elided probe: must be provably unoccupied via the summary.
+		if c := tr.sum.counts[tr.summaryIndex(p[0], p[1], p[2])]; c != 0 {
+			t.Fatalf("seg %d: %s elided probe %v sits in a block with %d occupied leaves", si, what, p, c)
+		}
+	}
+	if j != len(withSum) {
+		t.Fatalf("seg %d: %s summarised sequence is not a subsequence: %d/%d probes matched",
+			si, what, j, len(withSum))
+	}
+}

@@ -77,6 +77,7 @@ type Tree struct {
 	origin     geom.Vec3 // minimum corner of the root cube
 	rootSize   float64   // side length of the root cube
 	maxKey     int       // rootSize/resolution: exclusive per-axis key bound
+	keyMask    int       // maxKey - 1; maxKey is always a power of two
 	invRes     float64   // 1/resolution
 	mulKey     bool      // resolution is a power of two: key() may multiply
 	nodes      []node    // node arena; index 0 is the root
@@ -85,8 +86,15 @@ type Tree struct {
 	qry  queryCache // memoised read-path descent for coherent queries
 	mut  uint64     // bumped on every tree mutation; invalidates qry and cls
 	cls  classCache // memoised per-voxel classifications for collision queries
+	sum  occSummary // per-8³-block occupied-leaf counts for the probe walkers
 
 	leafUpdates int // total leaf evidence updates, for overhead accounting
+
+	// probeRec, when non-nil, observes every uncached classification in probe
+	// order. Test instrumentation only (the fused-vs-sequential equivalence
+	// suite records probe sequences through it); always nil in production, and
+	// the check sits on the classification miss path, never on the cached one.
+	probeRec func(x, y, z int)
 }
 
 // node is one octree cell: a leaf when firstChild < 0, otherwise its eight
@@ -195,6 +203,8 @@ func New(bounds geom.AABB, resolution float64, params Params) *Tree {
 	t.cls.nx = keyExtent(size.X)
 	t.cls.ny = keyExtent(size.Y)
 	t.cls.nz = keyExtent(size.Z)
+	t.keyMask = t.maxKey - 1
+	t.initSummary()
 	return t
 }
 
@@ -291,6 +301,9 @@ func (p *classProbe) classify(x, y, z int) Occupancy {
 
 // classifySlow is the uncached classification: one (path-memoised) descent.
 func (t *Tree) classifySlow(x, y, z int) Occupancy {
+	if t.probeRec != nil {
+		t.probeRec(x, y, z)
+	}
 	lo, known := t.lookup(x, y, z)
 	if !known {
 		return Unknown
@@ -324,6 +337,17 @@ func (t *Tree) key(p geom.Vec3) (x, y, z int, ok bool) {
 	y = int(rel.Y / t.resolution)
 	z = int(rel.Z / t.resolution)
 	return x, y, z, true
+}
+
+// keyComp converts one in-range axis offset rel = coordinate - origin to its
+// integer key component, exactly as key() does (multiply path for power-of-
+// two resolutions, bit-identical to the divide; see New). The fused walker
+// uses it to key single recomputed axes.
+func (t *Tree) keyComp(rel float64) int {
+	if t.mulKey {
+		return int(rel * t.invRes)
+	}
+	return int(rel / t.resolution)
 }
 
 // VoxelCenter returns the centre of the leaf voxel containing p; ok is false
@@ -388,23 +412,43 @@ func (t *Tree) descend(x, y, z int) int32 {
 // updateKey applies delta log-odds evidence to the voxel at integer key
 // (x,y,z), expanding interior nodes as needed.
 func (t *Tree) updateKey(x, y, z int, delta float64) {
-	t.applyDelta(t.descend(x, y, z), delta)
+	t.applyDelta(t.descend(x, y, z), x, y, z, delta)
 }
 
-// applyDelta applies one evidence delta to the leaf at arena index ni. This
-// is where the markKnown epsilon convention is applied: a voxel is "known"
-// iff its log-odds is non-zero, and instead of spending a flag bit per node,
-// evidence that leaves the clamped log-odds at exactly 0 would be nudged to
-// a 1e-9 epsilon. The nudge is guarded on logOdds != 0 (preserved
-// bit-for-bit from the reference implementation), so evidence that cancels
-// to exactly 0 reads as unknown again — with the default logit sensor model
-// the hit/miss deltas are irrational multiples that never cancel exactly, so
-// the case does not arise in practice.
-func (t *Tree) applyDelta(ni int32, delta float64) {
+// applyDelta applies one evidence delta to the leaf at arena index ni, which
+// descend resolved for key (x,y,z). This is where the markKnown epsilon
+// convention is applied: a voxel is "known" iff its log-odds is non-zero, and
+// instead of spending a flag bit per node, evidence that leaves the clamped
+// log-odds at exactly 0 would be nudged to a 1e-9 epsilon. The nudge is
+// guarded on logOdds != 0 (preserved bit-for-bit from the reference
+// implementation), so evidence that cancels to exactly 0 reads as unknown
+// again — with the default logit sensor model the hit/miss deltas are
+// irrational multiples that never cancel exactly, so the case does not arise
+// in practice.
+//
+// The occupancy summary is maintained here, on the occupied↔free/unknown
+// classification transitions of the updated leaf: this is the only call that
+// can change a unit leaf's classification (see occSummary for why expand
+// cannot), so updating the block count in the same call keeps the summary
+// exact after every mutation.
+func (t *Tree) applyDelta(ni int32, x, y, z int, delta float64) {
 	n := &t.nodes[ni]
-	n.logOdds = geom.Clampf(n.logOdds+delta, t.params.ClampMin, t.params.ClampMax)
+	old := n.logOdds
+	n.logOdds = geom.Clampf(old+delta, t.params.ClampMin, t.params.ClampMax)
 	if n.logOdds != 0 {
 		markKnown(n)
+	}
+	if t.sum.counts != nil {
+		wasOcc := old != 0 && old >= t.params.OccThresh
+		isOcc := n.logOdds != 0 && n.logOdds >= t.params.OccThresh
+		if wasOcc != isOcc {
+			bi := t.summaryIndex(x, y, z)
+			if isOcc {
+				t.sum.counts[bi]++
+			} else {
+				t.sum.counts[bi]--
+			}
+		}
 	}
 	t.leafUpdates++
 	t.mut++

@@ -79,16 +79,45 @@ func (cp *classProbe) at(p geom.Vec3) Occupancy {
 // continuous-collision refinement of the pre-PR3 implementation, which
 // sampled PointFree at half-resolution spacing (~2 probes per crossed voxel)
 // and could step over a voxel the segment only grazes.
+//
+// Since PR 5 the seven walks run fused: the shared direction is initialised
+// once and each offset ray re-derives only its single perturbed axis (see
+// fusedwalk.go), and the occupancy-summary prescan answers the whole query
+// without walking when every block in reach holds no obstacle. When the
+// walks do run, rays go centre first, then offsets in probeOffsets order
+// with the same early exit, so results and the classification-probe
+// sequence are bit-identical to the per-ray reference (segmentFreeSeq in
+// the equivalence suite).
 func (t *Tree) SegmentFree(a, b geom.Vec3, q QueryPolicy) bool {
 	cp := t.classProbeView()
-	if !t.rayFree(a, b, q, &cp) {
+	var m multiWalker
+	m.init(t, a, b)
+	if q.Radius > 0 && t.bundleAllFree(&m, a, b, q) {
+		return true // no walk can classify anything outside zero-count blocks
+	}
+	if !t.walkFree(&m.x, &m.y, &m.z, q, &cp) {
 		return false
 	}
 	if q.Radius <= 0 {
 		return true
 	}
-	for _, d := range probeOffsets(q.Radius) {
-		if !t.rayFree(a.Add(d), b.Add(d), q, &cp) {
+	offs := probeOffsets(q.Radius)
+	for i := range offs {
+		// probeOffsets perturbs exactly one axis per offset (axis i>>1):
+		// recompute that axis, share the other two with the centre ray.
+		var free bool
+		switch i >> 1 {
+		case 0:
+			t.fillRayAxis(&m.o, a.X+offs[i].X, b.X+offs[i].X, t.origin.X)
+			free = t.walkFree(&m.o, &m.y, &m.z, q, &cp)
+		case 1:
+			t.fillRayAxis(&m.o, a.Y+offs[i].Y, b.Y+offs[i].Y, t.origin.Y)
+			free = t.walkFree(&m.x, &m.o, &m.z, q, &cp)
+		default:
+			t.fillRayAxis(&m.o, a.Z+offs[i].Z, b.Z+offs[i].Z, t.origin.Z)
+			free = t.walkFree(&m.x, &m.y, &m.o, q, &cp)
+		}
+		if !free {
 			return false
 		}
 	}
@@ -98,6 +127,11 @@ func (t *Tree) SegmentFree(a, b geom.Vec3, q QueryPolicy) bool {
 // rayFree reports whether every voxel crossed by the single segment a→b is
 // unblocked, with the whole segment inside the mapped volume. cp is the
 // caller's cache view, shared across a query's probe rays.
+//
+// Since PR 5 this is the retained per-ray reference: production queries run
+// the fused walkFree (bit-identical, pinned by the equivalence suite), and
+// this body exists so the reference cannot drift from what the fused walker
+// must reproduce.
 func (t *Tree) rayFree(a, b geom.Vec3, q QueryPolicy, cp *classProbe) bool {
 	ax, ay, az, aIn := t.key(a)
 	if !aIn {
@@ -184,16 +218,38 @@ func (t *Tree) rayFree(a, b geom.Vec3, q QueryPolicy, cp *classProbe) bool {
 // Like SegmentFree, each ray is a DDA voxel walk rather than the pre-PR3
 // half-resolution sampling; frac is the true voxel-boundary crossing instead
 // of the first blocked sample position (which lagged the boundary by up to
-// half a sample spacing).
+// half a sample spacing). The seven walks run fused since PR 5 (see
+// SegmentFree and fusedwalk.go); a ray whose far endpoint leaves the volume
+// still takes the sequential slab-clipped walk through rayFirstBlocked.
 func (t *Tree) FirstBlocked(a, b geom.Vec3, q QueryPolicy) (frac float64, ok bool) {
 	cp := t.classProbeView()
+	var m multiWalker
+	m.init(t, a, b)
+	if q.Radius > 0 && t.bundleAllFree(&m, a, b, q) {
+		return 0, false // no walk can classify anything outside zero-count blocks
+	}
 	first := math.Inf(1)
-	if f, blocked := t.rayFirstBlocked(a, b, q, &cp); blocked {
+	if f, blocked := t.walkFirstBlocked(a, b, &m.x, &m.y, &m.z, q, &cp); blocked {
 		first = f
 	}
 	if q.Radius > 0 {
-		for _, d := range probeOffsets(q.Radius) {
-			if f, blocked := t.rayFirstBlocked(a.Add(d), b.Add(d), q, &cp); blocked && f < first {
+		offs := probeOffsets(q.Radius)
+		for i := range offs {
+			ao, bo := a.Add(offs[i]), b.Add(offs[i])
+			var f float64
+			var blocked bool
+			switch i >> 1 {
+			case 0:
+				t.fillRayAxis(&m.o, ao.X, bo.X, t.origin.X)
+				f, blocked = t.walkFirstBlocked(ao, bo, &m.o, &m.y, &m.z, q, &cp)
+			case 1:
+				t.fillRayAxis(&m.o, ao.Y, bo.Y, t.origin.Y)
+				f, blocked = t.walkFirstBlocked(ao, bo, &m.x, &m.o, &m.z, q, &cp)
+			default:
+				t.fillRayAxis(&m.o, ao.Z, bo.Z, t.origin.Z)
+				f, blocked = t.walkFirstBlocked(ao, bo, &m.x, &m.y, &m.o, q, &cp)
+			}
+			if blocked && f < first {
 				first = f
 			}
 		}
@@ -208,6 +264,11 @@ func (t *Tree) FirstBlocked(a, b geom.Vec3, q QueryPolicy) (frac float64, ok boo
 // a→b at which the ray first enters blocked (or out-of-volume) space, and
 // whether any such position exists. cp is the caller's cache view, shared
 // across a query's probe rays.
+//
+// Since PR 5 this body serves two callers: the fused walkFirstBlocked
+// delegates rays whose far endpoint keys outside the volume here (the walk
+// then needs the slab clip), and the sequential reference of the
+// fused-vs-sequential equivalence suite (firstBlockedSeq) is built on it.
 func (t *Tree) rayFirstBlocked(a, b geom.Vec3, q QueryPolicy, cp *classProbe) (float64, bool) {
 	ax, ay, az, aIn := t.key(a)
 	if !aIn {

@@ -1,0 +1,128 @@
+package octomap
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// recountSummary rebuilds the occupancy summary by brute force: classify
+// every leaf key in the root cube and count the Occupied ones per block.
+// This is the oracle the incrementally maintained counts must match after
+// any interleaving of mutations.
+func recountSummary(tr *Tree) []uint16 {
+	counts := make([]uint16, len(tr.sum.counts))
+	for z := 0; z < tr.maxKey; z++ {
+		for y := 0; y < tr.maxKey; y++ {
+			for x := 0; x < tr.maxKey; x++ {
+				if tr.classifySlow(x, y, z) == Occupied {
+					counts[tr.summaryIndex(x, y, z)]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+func assertSummaryExact(t *testing.T, tr *Tree, when string) {
+	t.Helper()
+	want := recountSummary(tr)
+	for i, w := range want {
+		if got := tr.sum.counts[i]; got != w {
+			t.Fatalf("%s: summary block %d has count %d, recount says %d", when, i, got, w)
+		}
+	}
+}
+
+// TestOccSummaryMatchesRecount pins the incremental summary maintenance
+// against the brute-force recount oracle across interleaved scan insertion,
+// direct occupied/free marking (including occupied→free→occupied flips of
+// the same voxel), collision queries between mutations, and walker-overshoot
+// insertions whose evidence lands through the key-masked descend aliasing.
+func TestOccSummaryMatchesRecount(t *testing.T) {
+	tr := newTestTree()
+	if tr.sum.counts == nil {
+		t.Fatal("test tree unexpectedly over the summary cap")
+	}
+	assertSummaryExact(t, tr, "fresh tree")
+	rng := rand.New(rand.NewSource(8))
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	for round := 0; round < 6; round++ {
+		origin := randomInteriorPoint(rng)
+		tr.InsertCloud(origin, randomScan(rng, origin, 60))
+		// Flip a handful of voxels across the occupancy threshold both ways.
+		for i := 0; i < 10; i++ {
+			p := randomInteriorPoint(rng)
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				tr.MarkOccupied(p)
+			}
+			for j := 0; j < rng.Intn(6); j++ {
+				tr.MarkFree(p)
+			}
+		}
+		// Queries between mutations must see exact summary state (and must
+		// not disturb it).
+		for i := 0; i < 25; i++ {
+			a, b := randomInteriorPoint(rng), randomInteriorPoint(rng)
+			tr.SegmentFree(a, b, q)
+			tr.FirstBlocked(a, b, q)
+		}
+		assertSummaryExact(t, tr, "round")
+	}
+
+	// Degenerate-axis insertions: the ray walker's defensive overshoot can
+	// hand descend keys outside [0, maxKey), whose evidence aliases onto the
+	// masked key (see occSummary). The summary must follow the evidence.
+	tr.InsertRay(geom.V(5.25, 6.0-4e-13, 1.2), geom.V(5.25, 6.0+4e-13, 0.1), true)
+	tr.InsertRay(geom.V(0.25, 6.0-4e-13, 15.8), geom.V(0.25, 6.0+4e-13, 15.95), true)
+	assertSummaryExact(t, tr, "degenerate-axis insertions")
+}
+
+// TestSummaryQueriesAcrossEpochWrap interleaves enough mutation/query rounds
+// to wrap the classification cache's 6-bit epoch while the summary serves
+// the same queries, checking fused queries against the sequential reference
+// the whole way: the summary (no epochs) and the class cache (wrapping
+// epochs) must stay coherent through every invalidation regime.
+func TestSummaryQueriesAcrossEpochWrap(t *testing.T) {
+	tr := queryTestTree(71)
+	tr.EnableClassCache()
+	rng := rand.New(rand.NewSource(72))
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	for round := 0; round < 70; round++ { // > 63 epochs: forces a wrap
+		p := randomInteriorPoint(rng)
+		if round%2 == 0 {
+			tr.MarkOccupied(p)
+		} else {
+			tr.MarkFree(p)
+		}
+		for i := 0; i < 6; i++ {
+			a, b := randomInteriorPoint(rng), randomInteriorPoint(rng)
+			if got, want := tr.SegmentFree(a, b, q), segmentFreeSeq(tr, a, b, q); got != want {
+				t.Fatalf("round %d: SegmentFree fused=%v sequential=%v", round, got, want)
+			}
+		}
+	}
+	assertSummaryExact(t, tr, "after epoch wrap")
+}
+
+// TestSummaryCapDisables pins the footprint-cap degradation: a volume whose
+// block count exceeds maxSummaryBlocks runs with the summary disabled (nil
+// counts), and queries still answer exactly like the sequential reference.
+func TestSummaryCapDisables(t *testing.T) {
+	// 2050 m at 0.125 m resolution → rootSize 4096 m, maxKey 2^15, nb 2^12:
+	// 2^36 blocks, far over the cap.
+	big := New(geom.Box(geom.V(0, 0, 0), geom.V(2050, 2050, 2050)), 0.125, DefaultParams())
+	if big.sum.counts != nil {
+		t.Fatalf("summary armed over the cap: nb=%d", big.sum.nb)
+	}
+	big.MarkOccupied(geom.V(100.06, 100.06, 100.06))
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.3}
+	a, b := geom.V(98, 100.06, 100.06), geom.V(103, 100.06, 100.06)
+	if big.SegmentFree(a, b, q) {
+		t.Fatal("segment through the occupied voxel reported free")
+	}
+	if got, want := big.SegmentFree(a, b, q), segmentFreeSeq(big, a, b, q); got != want {
+		t.Fatalf("uncapped-summary query: fused=%v sequential=%v", got, want)
+	}
+}

@@ -74,6 +74,16 @@ type gridIndex struct {
 	stamps  []uint32 // per-bucket epoch of last write
 	buckets [][]bucketEntry
 	boxes   []geom.AABB // per-bucket AABB of the stored positions
+
+	// near() merges per-bucket runs instead of sorting (see near). The
+	// planners insert node ids in ascending order by construction, so each
+	// bucket's entries are already ascending; unsorted records the (never
+	// expected) violation of that invariant, arming the sort fallback of
+	// record. runEnds and mergeBuf are per-query scratch, reused across a
+	// planner's lifetime.
+	unsorted bool
+	runEnds  []int32
+	mergeBuf []int32
 }
 
 // boundPad is the relative safety margin on bucket-pruning comparisons: a
@@ -140,6 +150,7 @@ func (g *gridIndex) configure(bounds geom.AABB, cellHint float64) {
 		cell *= 2
 	}
 	g.loX, g.hiX, g.loY, g.hiY, g.loZ, g.hiZ = 1, 0, 1, 0, 1, 0 // empty box
+	g.unsorted = false
 	n := int(nx) * int(ny) * int(nz)
 	if g.min != bounds.Min || g.cell != cell || g.nx != nx || g.ny != ny || g.nz != nz {
 		g.min, g.cell, g.invCell = bounds.Min, cell, 1/cell
@@ -194,6 +205,12 @@ func (g *gridIndex) insert(id int32, pos geom.Vec3) {
 		bx := &g.boxes[b]
 		bx.Min = bx.Min.Min(pos)
 		bx.Max = bx.Max.Max(pos)
+		if g.buckets[b][len(g.buckets[b])-1].id >= id {
+			// Out-of-order insert: cannot happen through the planners (ids
+			// ascend by construction), but if it ever does, near() falls
+			// back to sorting instead of silently misordering neighbours.
+			g.unsorted = true
+		}
 	}
 	g.buckets[b] = append(g.buckets[b], bucketEntry{pos: pos, id: id})
 	if g.loX > g.hiX { // first node
@@ -344,9 +361,18 @@ func (g *gridIndex) nearest(p geom.Vec3) int {
 // near appends to out every node index whose position lies within radius of
 // p (inclusive, on squared distances) and returns out sorted ascending —
 // exactly the set and order the reference linear scan produces.
+//
+// Since PR 5 the ascending order comes from merging, not sorting: node ids
+// are inserted in ascending order by construction (searchTree.add assigns
+// arena indices monotonically and inserts immediately), so each bucket holds
+// an ascending run and the per-bucket matches form sorted runs that a k-way
+// merge combines in O(n·buckets) with no comparison sort. Ids are unique
+// across runs, so merge order is total and the result is exactly what
+// sorting produced before. The (never expected) out-of-order insert arms
+// g.unsorted, which falls back to the sort of record.
 func (g *gridIndex) near(p geom.Vec3, radius float64, out []int32) []int32 {
 	r2 := radius * radius
-	start := len(out) // sort only what we append; a caller's prefix is untouched
+	start := len(out) // order only what we append; a caller's prefix is untouched
 	lox, loy, loz := g.cellOf(geom.V(p.X-radius, p.Y-radius, p.Z-radius))
 	hix, hiy, hiz := g.cellOf(geom.V(p.X+radius, p.Y+radius, p.Z+radius))
 	var ok bool
@@ -359,6 +385,7 @@ func (g *gridIndex) near(p geom.Vec3, radius float64, out []int32) []int32 {
 	if loz, hiz, ok = clip(loz, hiz, g.loZ, g.hiZ); !ok {
 		return out
 	}
+	g.runEnds = g.runEnds[:0]
 	for cz := loz; cz <= hiz; cz++ {
 		for cy := loy; cy <= hiy; cy++ {
 			for cx := lox; cx <= hix; cx++ {
@@ -375,9 +402,59 @@ func (g *gridIndex) near(p geom.Vec3, radius float64, out []int32) []int32 {
 						out = append(out, e.id)
 					}
 				}
+				if end := int32(len(out)); end > int32(start) && (len(g.runEnds) == 0 || end > g.runEnds[len(g.runEnds)-1]) {
+					g.runEnds = append(g.runEnds, end) // one run per contributing bucket
+				}
 			}
 		}
 	}
-	slices.Sort(out[start:])
+	if g.unsorted {
+		slices.Sort(out[start:])
+		return out
+	}
+	g.mergeRuns(out, start)
 	return out
+}
+
+// mergeRuns merges the ascending runs out[start:runEnds[0]],
+// out[runEnds[0]:runEnds[1]], … in place (via the reused merge buffer) into
+// one ascending sequence. Runs hold disjoint id sets, so selection by
+// smallest head is a total order.
+func (g *gridIndex) mergeRuns(out []int32, start int) {
+	if len(g.runEnds) <= 1 {
+		return // zero or one run: already ascending
+	}
+	added := out[start:]
+	buf := g.mergeBuf[:0]
+	runStart := int32(start)
+	// Reuse the tail of runEnds as cursors? No — cursors are per-run
+	// positions; keep them in a fixed-size stack array when small, else
+	// fall back to the (rare) sort. Shell scans cap the run count at the
+	// clipped cell box, which the planners keep small; 64 covers every
+	// configuration the cell sizing can produce for a radius ≈ cell query.
+	var curArr [64]int32
+	if len(g.runEnds) > len(curArr) {
+		slices.Sort(added)
+		return
+	}
+	cur := curArr[:len(g.runEnds)]
+	for i := range cur {
+		cur[i] = runStart
+		runStart = g.runEnds[i]
+	}
+	for len(buf) < len(added) {
+		best := -1
+		var bestID int32
+		for i := range cur {
+			if cur[i] < g.runEnds[i] {
+				if id := out[cur[i]]; best < 0 || id < bestID {
+					best, bestID = i, id
+				}
+			}
+		}
+		buf = append(buf, bestID)
+		cur[best]++
+	}
+	copy(added, buf)
+	g.mergeBuf = buf
 }

@@ -159,6 +159,75 @@ func TestGridIndexCellCap(t *testing.T) {
 	}
 }
 
+// TestGridIndexNearDuplicateDistanceTies pins the PR 5 merge-not-sort near()
+// on the orders a comparison can no longer repair: duplicate positions
+// (same distance, same bucket), distinct positions at exactly equal
+// distances in different buckets, and interleaved insertion ids spanning
+// many buckets. The result must be the linear scan's ascending-id order,
+// exactly.
+func TestGridIndexNearDuplicateDistanceTies(t *testing.T) {
+	b := geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10))
+	cfg := Config{Bounds: b, StepSize: 3, MaxIters: 64}
+	tree := &searchTree{}
+	tree.reset(&cfg, treeNode{pos: geom.V(20, 20, 5), parent: -1})
+	q := geom.V(20, 20, 5)
+	// Exact duplicates of the root position (distance 0 ties, one bucket).
+	for i := 0; i < 3; i++ {
+		tree.add(treeNode{pos: geom.V(20, 20, 5), parent: 0})
+	}
+	// Mirror pairs at exactly equal distances, straddling bucket boundaries,
+	// inserted in an id order that interleaves the buckets.
+	for _, d := range []float64{2, 6, 11, 14} {
+		tree.add(treeNode{pos: geom.V(20+d, 20, 5), parent: 0})
+		tree.add(treeNode{pos: geom.V(20-d, 20, 5), parent: 0})
+		tree.add(treeNode{pos: geom.V(20, 20+d, 5), parent: 0})
+		tree.add(treeNode{pos: geom.V(20, 20-d, 5), parent: 0})
+	}
+	for _, radius := range []float64{0, 2, 6.0, 11, 30} {
+		got := tree.grid.near(q, radius, nil)
+		want := nearLinear(tree.nodes, q, radius*radius, nil)
+		if len(got) != len(want) {
+			t.Fatalf("radius %v: grid returned %d ids, linear %d", radius, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("radius %v id %d: grid=%d linear=%d", radius, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGridIndexNearUnsortedFallback pins the defensive sort fallback: ids
+// inserted out of ascending order (impossible through the planners, but the
+// merge's precondition) must still come back ascending.
+func TestGridIndexNearUnsortedFallback(t *testing.T) {
+	b := geom.Box(geom.V(0, 0, 0), geom.V(40, 40, 10))
+	var g gridIndex
+	g.configure(b, 12)
+	// Same bucket, descending ids.
+	g.insert(5, geom.V(20, 20, 5))
+	g.insert(2, geom.V(20.5, 20, 5))
+	g.insert(9, geom.V(19.5, 20, 5))
+	if !g.unsorted {
+		t.Fatal("descending same-bucket insert did not arm the sort fallback")
+	}
+	got := g.near(geom.V(20, 20, 5), 5, nil)
+	want := []int32{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("near returned %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("near returned %v, want %v", got, want)
+		}
+	}
+	// A fresh configure clears the flag.
+	g.configure(b, 12)
+	if g.unsorted {
+		t.Fatal("configure did not clear the unsorted flag")
+	}
+}
+
 // TestSearchTreeLinearPolicy verifies IndexLinear really bypasses the grid
 // and serves the reference scans.
 func TestSearchTreeLinearPolicy(t *testing.T) {
