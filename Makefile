@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan bench-probes docs-check
+.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan bench-probes docs-check record replay replay-verify staticcheck vulncheck
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,7 @@ test-race:
 # engine scaling curve, and the perception micro-benchmarks, and records the
 # machine-readable perf trajectory in $(BENCH_JSON) (benchmark → ns/op,
 # allocs/op, custom metrics). Scale campaigns with MAVFI_BENCH_RUNS.
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./... > $(BENCH_JSON).raw
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) < $(BENCH_JSON).raw
@@ -64,3 +64,43 @@ bench-probes:
 # must resolve.
 docs-check:
 	$(GO) run ./cmd/docscheck
+
+# record captures a small demo campaign cell (nominal + planner-fault) as
+# replayable mission logs under data/demo; replay byte-verifies them.
+RECORD_DIR ?= data/demo
+record:
+	$(GO) run ./cmd/mavfi-replay -record -o $(RECORD_DIR)/nominal -runs 4 -seed 1
+	$(GO) run ./cmd/mavfi-replay -record -o $(RECORD_DIR)/kfault -kernel planner -runs 4 -seed 1
+
+replay:
+	$(GO) run ./cmd/mavfi-replay -verify $(RECORD_DIR)/nominal $(RECORD_DIR)/kfault
+
+# replay-verify is the CI determinism gate. It records a nominal and a
+# fault-injected cell twice — once with 1 campaign worker, once with 4 —
+# then (a) requires the recordings to be byte-identical across worker widths
+# (cmp) and (b) re-simulates every recording from its header, failing on the
+# first byte of divergence between the recomputed and recorded tick streams.
+replay-verify:
+	rm -rf data/ci
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w1/nominal -runs 3 -seed 1 -workers 1
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w1/kfault -kernel planner -runs 3 -seed 1 -workers 1
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w1/sfault -state wp_x -runs 3 -seed 1 -workers 1
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w4/nominal -runs 3 -seed 1 -workers 4
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w4/kfault -kernel planner -runs 3 -seed 1 -workers 4
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w4/sfault -state wp_x -runs 3 -seed 1 -workers 4
+	@for cell in nominal kfault sfault; do \
+		for f in data/ci/w1/$$cell/*.rec; do \
+			cmp "$$f" "data/ci/w4/$$cell/$$(basename $$f)" || exit 1; \
+		done; \
+	done; echo "worker-width byte-identity: ok"
+	$(GO) run ./cmd/mavfi-replay -verify data/ci/w1/nominal data/ci/w1/kfault data/ci/w1/sfault
+
+# staticcheck / vulncheck run pinned analyzer versions via `go run`, so CI
+# and local runs use identical tools with nothing to install.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...

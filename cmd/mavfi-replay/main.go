@@ -1,0 +1,280 @@
+// Command mavfi-replay records, verifies, and renders mission recordings.
+//
+// A recording captures everything a mission needs to be re-flown — seed,
+// world geometry, platform, fault plans, pre-mission detector state — plus
+// the full tick log. Because the simulator is deterministic, re-simulating
+// from the header must reproduce the tick log byte-for-byte; -verify is that
+// determinism gate, and CI runs it on every push (make replay-verify).
+//
+// Usage:
+//
+//	mavfi-replay -record -o DIR [-env sparse] [-kernel planner | -state wp_x]
+//	             [-runs 4] [-seed 1] [-workers 0]
+//	    record a campaign cell, one .rec file per mission under DIR
+//
+//	mavfi-replay -verify PATH...
+//	    re-simulate each recording (file or directory of *.rec) and fail
+//	    unless the recomputed tick stream byte-matches the log
+//
+//	mavfi-replay -csv PATH [> out.csv]
+//	    render a recording to the standard trace CSV without re-simulation
+//
+//	mavfi-replay -info PATH...
+//	    print header/footer metadata (files or directories)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mavfi/internal/campaign"
+	"mavfi/internal/env"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/record"
+)
+
+var kernelNames = map[string]faultinject.Kernel{
+	"pcgen":    faultinject.KernelPCGen,
+	"octomap":  faultinject.KernelOctoMap,
+	"colcheck": faultinject.KernelColCheck,
+	"planner":  faultinject.KernelPlanner,
+	"pid":      faultinject.KernelPID,
+}
+
+func stateByName(name string) (faultinject.StateID, bool) {
+	for s := faultinject.StateID(0); s < faultinject.NumInjectableStates; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	var (
+		doRecord = flag.Bool("record", false, "record a campaign cell to -o")
+		doVerify = flag.Bool("verify", false, "byte-verify recordings by re-simulation")
+		doCSV    = flag.Bool("csv", false, "render one recording to CSV on stdout")
+		doInfo   = flag.Bool("info", false, "print recording metadata")
+
+		out     = flag.String("o", "", "output directory for -record")
+		envName = flag.String("env", "sparse", "environment: factory, farm, sparse, dense")
+		kernel  = flag.String("kernel", "", "kernel to inject (instruction-level mode)")
+		state   = flag.String("state", "", "inter-kernel state to corrupt (message-level mode)")
+		runs    = flag.Int("runs", 4, "missions to record")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", 0, "campaign worker goroutines (0 = MAVFI_WORKERS, else GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	modes := 0
+	for _, m := range []bool{*doRecord, *doVerify, *doCSV, *doInfo} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "specify exactly one of -record, -verify, -csv, -info")
+		os.Exit(2)
+	}
+
+	switch {
+	case *doRecord:
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "-record requires -o DIR")
+			os.Exit(2)
+		}
+		if *kernel != "" && *state != "" {
+			fmt.Fprintln(os.Stderr, "specify at most one of -kernel or -state")
+			os.Exit(2)
+		}
+		if err := recordCell(*out, *envName, *kernel, *state, *runs, *seed, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *doVerify:
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "-verify requires recording paths")
+			os.Exit(2)
+		}
+		if !verifyAll(expand(flag.Args())) {
+			os.Exit(1)
+		}
+	case *doCSV:
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "-csv requires exactly one recording")
+			os.Exit(2)
+		}
+		m, err := record.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := m.Trace().WriteCSV(os.Stdout, true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *doInfo:
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "-info requires recording paths")
+			os.Exit(2)
+		}
+		for _, path := range expand(flag.Args()) {
+			printInfo(path)
+		}
+	}
+}
+
+// makeWorld builds the named environment with the same fixed generator seed
+// cmd/mavfi uses, so recordings are comparable across tools.
+func makeWorld(name string) (*env.World, error) {
+	rng := rand.New(rand.NewSource(1))
+	switch name {
+	case "factory":
+		return env.Factory(), nil
+	case "farm":
+		return env.Farm(), nil
+	case "sparse":
+		return env.Sparse(rng), nil
+	case "dense":
+		return env.Dense(rng), nil
+	default:
+		return nil, fmt.Errorf("unknown env %q", name)
+	}
+}
+
+// recordCell records one campaign cell — nominal, or with a kernel/state
+// fault drawn per mission exactly as cmd/mavfi draws them (calibration count,
+// then a sequential plan RNG), so a recorded cell is a faithful slice of the
+// full fault-injection campaign.
+func recordCell(dir, envName, kernel, state string, runs int, seed int64, workers int) error {
+	world, err := makeWorld(envName)
+	if err != nil {
+		return err
+	}
+
+	var cfgs []pipeline.Config
+	switch {
+	case kernel != "":
+		k, ok := kernelNames[kernel]
+		if !ok {
+			return fmt.Errorf("unknown kernel %q", kernel)
+		}
+		ctr := faultinject.NewCounter()
+		pipeline.RunMission(pipeline.Config{World: world, Seed: seed + 555, Counter: ctr})
+		planRNG := rand.New(rand.NewSource(seed + 42))
+		for i := 0; i < runs; i++ {
+			plan := faultinject.NewPlan(k, ctr.Count(k), planRNG)
+			cfgs = append(cfgs, pipeline.Config{World: world, Seed: seed + int64(i), KernelFault: &plan})
+		}
+	case state != "":
+		s, ok := stateByName(state)
+		if !ok {
+			return fmt.Errorf("unknown state %q", state)
+		}
+		nominal := pipeline.NominalDuration(pipeline.Config{World: world})
+		planRNG := rand.New(rand.NewSource(seed + 42))
+		for i := 0; i < runs; i++ {
+			plan := faultinject.NewStatePlan(s, nominal*0.15, nominal*0.85, planRNG)
+			cfgs = append(cfgs, pipeline.Config{World: world, Seed: seed + int64(i), StateFault: &plan})
+		}
+	default:
+		for i := 0; i < runs; i++ {
+			cfgs = append(cfgs, pipeline.Config{World: world, Seed: seed + int64(i)})
+		}
+	}
+
+	runner := campaign.New(campaign.WithWorkers(workers))
+	out, err := record.RunCampaign(context.Background(), runner, dir, "record", runs,
+		func(i int) pipeline.Config { return cfgs[i] })
+	if err != nil {
+		return err
+	}
+	c := out.Campaign
+	fmt.Printf("recorded %d missions to %s (success %.1f%%)\n", c.N(), dir, c.SuccessRate()*100)
+	return nil
+}
+
+// expand replaces directory arguments with the *.rec files inside them.
+func expand(args []string) []string {
+	var paths []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err == nil && st.IsDir() {
+			matches, _ := filepath.Glob(filepath.Join(a, "*.rec"))
+			if len(matches) == 0 {
+				fmt.Fprintf(os.Stderr, "warning: no *.rec files in %s\n", a)
+			}
+			paths = append(paths, matches...)
+			continue
+		}
+		paths = append(paths, a)
+	}
+	return paths
+}
+
+// verifyAll re-simulates every recording and reports per-file pass/fail.
+func verifyAll(paths []string) bool {
+	ok := true
+	for _, path := range paths {
+		m, err := record.Open(path)
+		if err != nil {
+			fmt.Printf("FAIL  %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		if err := m.Verify(); err != nil {
+			fmt.Printf("FAIL  %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		fmt.Printf("ok    %s (%d ticks byte-identical)\n", path, m.Footer.Samples)
+	}
+	return ok
+}
+
+// printInfo dumps one recording's metadata.
+func printInfo(path string) {
+	m, err := record.Open(path)
+	if err != nil && !m.Complete && m.Header.Version == 0 {
+		fmt.Printf("%s: %v\n", path, err)
+		return
+	}
+	h := m.Header
+	fault := "none"
+	if h.KernelFault != nil {
+		fault = fmt.Sprintf("kernel %s idx=%d bit=%d", h.KernelFault.Kernel, h.KernelFault.Index, h.KernelFault.Bit)
+	} else if h.StateFault != nil {
+		fault = fmt.Sprintf("state %s t=%.2f bit=%d", h.StateFault.State, h.StateFault.Time, h.StateFault.Bit)
+	}
+	det := "none"
+	if h.Detector != nil {
+		det = h.Detector.Kind
+	}
+	status := "complete"
+	if !m.Complete {
+		status = "INCOMPLETE (no footer)"
+	}
+	fmt.Printf("%s: %s\n", path, status)
+	fmt.Printf("  world=%s seed=%d planner=%s tick=%.3fs platform=%s\n",
+		h.World.Name, h.Seed, h.PlannerName, h.TickS, h.Platform.Name)
+	fmt.Printf("  fault=%s detector=%s\n", fault, det)
+	if m.Complete {
+		f := m.Footer
+		fmt.Printf("  ticks=%d payload=%dB digest=%s\n", f.Samples, f.PayloadBytes, f.Digest)
+		fmt.Printf("  result: outcome=%s flight=%.1fs injected=%v alarms=%d events=%d\n",
+			f.Result.OutcomeName, f.Result.FlightTimeS, f.Result.Injected, f.Result.Alarms, len(m.Events))
+	} else if n := len(m.Snapshots); n > 0 {
+		s := m.Snapshots[n-1]
+		fmt.Printf("  last snapshot: %d ticks, t=%.1fs pos=%v\n", s.Samples, s.T, s.Pos)
+	}
+	for _, e := range m.Events {
+		fmt.Printf("  event t=%7.2fs tick=%5d %s\n", e.T, e.Tick, strings.ReplaceAll(e.Tags, ";", " "))
+	}
+}

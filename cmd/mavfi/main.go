@@ -8,6 +8,11 @@
 //	mavfi [-env sparse] [-kernel pcgen|octomap|colcheck|planner|pid]
 //	      [-state time_to_collision|...|vz]
 //	      [-detector none|gad|aad] [-runs 100] [-train 50] [-seed 1]
+//	      [-record-dir data/campaigns/cell]
+//
+// With -record-dir, every mission (golden and injection) is persisted as a
+// replayable recording under DIR/golden and DIR/injection; inspect or
+// byte-verify them with mavfi-replay.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"mavfi/internal/campaign"
 	"mavfi/internal/detect"
@@ -24,6 +30,7 @@ import (
 	"mavfi/internal/pipeline"
 	"mavfi/internal/platform"
 	"mavfi/internal/qof"
+	"mavfi/internal/record"
 )
 
 var kernelNames = map[string]faultinject.Kernel{
@@ -53,6 +60,7 @@ func main() {
 		train    = flag.Int("train", 50, "training environments when a detector is enabled")
 		seed     = flag.Int64("seed", 1, "campaign seed")
 		workers  = flag.Int("workers", 0, "campaign worker goroutines (0 = MAVFI_WORKERS, else GOMAXPROCS)")
+		recDir   = flag.String("record-dir", "", "record every mission under DIR/{golden,injection} (replayable with mavfi-replay)")
 	)
 	flag.Parse()
 
@@ -103,10 +111,23 @@ func main() {
 	}
 
 	// Golden baseline.
-	goldenOut, _ := runner.Run(ctx, "golden", *runs, func(i int) qof.Metrics {
-		return pipeline.RunMission(pipeline.Config{World: world, Seed: *seed + int64(i)}).Metrics
-	})
-	golden := goldenOut.Campaign
+	var golden *qof.Campaign
+	goldenCfg := func(i int) pipeline.Config {
+		return pipeline.Config{World: world, Seed: *seed + int64(i)}
+	}
+	if *recDir != "" {
+		goldenOut, err := record.RunCampaign(ctx, runner, filepath.Join(*recDir, "golden"), "golden", *runs, goldenCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "recording golden campaign:", err)
+			os.Exit(1)
+		}
+		golden = goldenOut.Campaign
+	} else {
+		goldenOut, _ := runner.Run(ctx, "golden", *runs, func(i int) qof.Metrics {
+			return pipeline.RunMission(goldenCfg(i)).Metrics
+		})
+		golden = goldenOut.Campaign
+	}
 
 	// Injection campaign: draw the whole plan schedule up front (the plan
 	// RNG is consumed sequentially), then shard the missions.
@@ -141,12 +162,38 @@ func main() {
 	camp := &qof.Campaign{Name: "injection"}
 	fired := make([]bool, *runs)
 	results := make([]qof.Metrics, *runs)
+	injDir := ""
+	if *recDir != "" {
+		injDir = filepath.Join(*recDir, "injection")
+		if err := os.MkdirAll(injDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "recording injection campaign:", err)
+			os.Exit(1)
+		}
+	}
 	runner.ForEach(ctx, *runs, func(i int) {
 		cfg := cfgs[i]
 		if det != nil {
 			cfg.Detector = det()
 		}
-		res := pipeline.RunMission(cfg)
+		var res pipeline.Result
+		if injDir != "" {
+			// Recording failures are reported but never fail the mission: the
+			// campaign aggregate survives a filling disk.
+			f, err := os.Create(record.MissionPath(injDir, i))
+			if err == nil {
+				res, err = record.RunRecorded(cfg, f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			} else {
+				res = pipeline.RunMission(cfg)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "recording mission %d: %v\n", i, err)
+			}
+		} else {
+			res = pipeline.RunMission(cfg)
+		}
 		results[i], fired[i] = res.Metrics, res.Injected
 	})
 	injected := 0

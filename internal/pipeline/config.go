@@ -91,7 +91,20 @@ type Config struct {
 	// RecordStates enables per-tick recording of preprocessed monitored-
 	// state deltas (training-data collection).
 	RecordStates bool
+	// Sink, when non-nil, additionally streams the recorded samples to a
+	// trace.Sink as they are finalized (implies Record). The mission
+	// serializes through the same reserved trace buffer Record uses, so a
+	// sink does not change the tick loop's allocation behaviour — and it
+	// never perturbs the flight: recording is passive, so a mission runs
+	// bit-identically with or without a sink attached.
+	Sink trace.Sink
 }
+
+// Normalized returns cfg with every defaulted field resolved to its
+// effective value (platform, tick period, mission budget, cruise altitude).
+// The mission recorder persists the normalized configuration so a replay
+// reconstructs exactly the configuration the recorded mission flew.
+func (c Config) Normalized() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	if c.Platform.Name == "" {

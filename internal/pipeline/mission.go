@@ -138,10 +138,15 @@ type runner struct {
 		sensor, planner *rand.Rand
 	}
 
-	acct   qof.Metrics
-	res    Result
-	trc    *trace.Trace
-	deltas [][detect.NumStates]float64
+	acct qof.Metrics
+	res  Result
+	trc  *trace.Trace
+	// sinkFlushed counts the trace samples already streamed to cfg.Sink.
+	// Samples are streamed only once finalized (no later MarkEvent can
+	// touch them): everything up to but excluding the newest sample before
+	// the next Add, and the remainder at mission end. See trace.Sink.
+	sinkFlushed int
+	deltas      [][detect.NumStates]float64
 }
 
 // waypointMsg is the "Multidoftraj" stream message: the pursued way-point
@@ -216,7 +221,7 @@ func newRunner(cfg Config) *runner {
 	// (the loop terminates at MaxMissionS, so they can never grow past it):
 	// the per-tick Add/append paths then stay allocation-free, extending the
 	// zero-alloc steady-state property to recorded missions.
-	if cfg.Record {
+	if cfg.Record || cfg.Sink != nil {
 		r.trc = &trace.Trace{}
 		r.trc.Reserve(r.tickBudget())
 	}
@@ -386,6 +391,10 @@ func (r *runner) run() Result {
 		r.acct.EnergyJ += watts * r.tick
 
 		if r.trc != nil {
+			// Every event tag this tick could attach to the previous
+			// sample has fired by now, so everything before the new
+			// sample is final and can stream to the sink.
+			r.flushSink(len(r.trc.Samples))
 			s := r.mav.State()
 			r.trc.Add(trace.Sample{T: s.T, Pos: s.Pos, Vel: s.Vel, Yaw: s.Yaw})
 			if !injectedSeen && (r.kInj.Injected() || (r.sInj != nil && r.sInj.Injected())) {
@@ -397,6 +406,19 @@ func (r *runner) run() Result {
 		if done, outcome := r.terminal(); done {
 			return r.finish(outcome)
 		}
+	}
+}
+
+// flushSink streams trace samples [sinkFlushed, upto) to the configured
+// sink. Serialization reads straight out of the reserved trace buffer, so a
+// recorded mission's tick loop stays allocation-free (the sink's own
+// contract keeps its side of the call cheap; see trace.Sink).
+func (r *runner) flushSink(upto int) {
+	if r.cfg.Sink == nil {
+		return
+	}
+	for ; r.sinkFlushed < upto; r.sinkFlushed++ {
+		r.cfg.Sink.Append(r.trc.Samples[r.sinkFlushed])
 	}
 }
 
@@ -732,6 +754,9 @@ func (r *runner) finish(outcome qof.Outcome) Result {
 		if outcome == qof.Crash {
 			r.trc.MarkEvent("crash")
 		}
+		// The mission is over: no further MarkEvent can fire, so the tail
+		// of the trace (including the just-tagged final sample) is final.
+		r.flushSink(len(r.trc.Samples))
 		r.res.Trace = r.trc
 	}
 	r.res.StateDeltas = r.deltas

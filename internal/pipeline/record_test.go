@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"mavfi/internal/env"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/trace"
 )
 
 // TestRecordingBuffersPreallocated pins the recorded-mission zero-alloc
@@ -33,5 +35,47 @@ func TestRecordingBuffersPreallocated(t *testing.T) {
 	}
 	if c := cap(res.StateDeltas); c != budget {
 		t.Fatalf("state-delta capacity %d, want the reserved budget %d (mid-flight reallocation?)", c, budget)
+	}
+}
+
+// collectSink copies every streamed sample (implements trace.Sink).
+type collectSink struct{ samples []trace.Sample }
+
+func (c *collectSink) Append(s trace.Sample) { c.samples = append(c.samples, s) }
+
+// TestSinkStreamsFinalizedSamples pins the Config.Sink contract: every sample
+// reaches the sink exactly once, in tick order, *after* its event tags are
+// final. The tags are the subtle part — MarkEvent("replan"/"alarm") fires
+// during the NEXT tick's body and "crash" at mission end, so the runner must
+// lag the stream one tick behind the trace and flush the remainder at finish.
+// A kernel-fault mission exercises inject, replan, and (via tag merging)
+// multi-tag samples.
+func TestSinkStreamsFinalizedSamples(t *testing.T) {
+	w := env.Sparse(rand.New(rand.NewSource(42)))
+	kf := &faultinject.Plan{Kernel: faultinject.KernelPlanner, Index: 200, Bit: 62}
+	sink := &collectSink{}
+	res := RunMission(Config{World: w, Seed: 5, KernelFault: kf, Sink: sink})
+
+	if res.Trace == nil {
+		t.Fatal("Sink did not imply Record")
+	}
+	if !res.Injected {
+		t.Fatal("fault did not fire; test misconfigured")
+	}
+	if len(sink.samples) != len(res.Trace.Samples) {
+		t.Fatalf("sink saw %d samples, trace has %d", len(sink.samples), len(res.Trace.Samples))
+	}
+	events := 0
+	for i := range sink.samples {
+		if sink.samples[i] != res.Trace.Samples[i] {
+			t.Fatalf("sink sample %d = %+v, trace has %+v (event tag finalized after streaming?)",
+				i, sink.samples[i], res.Trace.Samples[i])
+		}
+		if sink.samples[i].Event != "" {
+			events++
+		}
+	}
+	if events == 0 {
+		t.Error("no tagged samples reached the sink (inject/replan missing)")
 	}
 }

@@ -1,0 +1,47 @@
+package record
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mavfi/internal/geom"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/testutil"
+	"mavfi/internal/trace"
+)
+
+// TestAppendZeroAlloc pins the writer's tick-path contract: Append on an
+// event-less sample allocates nothing. The chunk size is made larger than
+// the run so no flush (and hence no background compression, which
+// AllocsPerRun would also count — it measures all goroutines) happens during
+// the measurement window.
+func TestAppendZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc counts are not meaningful under -race")
+	}
+	h, err := NewHeader(pipeline.Config{World: testWorld()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, h, Options{ChunkSamples: 1 << 20, SnapshotEvery: math.MaxInt32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		w.Append(trace.Sample{
+			T:   float64(i) * 0.1,
+			Pos: geom.Vec3{X: float64(i), Y: 1, Z: 2.5},
+			Vel: geom.Vec3{X: 1},
+			Yaw: 0.3,
+		})
+	})
+	if allocs != 0 {
+		t.Errorf("Append allocates %.1f times per sample on the tick path, want 0", allocs)
+	}
+}

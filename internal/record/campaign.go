@@ -1,0 +1,68 @@
+package record
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mavfi/internal/campaign"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/qof"
+)
+
+// MissionPath returns the recording path for mission i of a campaign cell
+// rooted at dir: dir/mission-%05d.rec (zero-padded so lexical order is
+// mission order).
+func MissionPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("mission-%05d.rec", i))
+}
+
+// RunCampaign runs the n missions of one campaign cell across r's worker
+// pool, recording every mission to its own file under dir (created if
+// missing). Each worker writes only its mission's file, so recording is safe
+// at any worker width — and because mission i's configuration and flight
+// depend only on i, the files themselves are byte-identical regardless of
+// how many workers produced them (the property `make replay-verify` checks
+// with cmp across widths).
+//
+// Recording failures do not abort the campaign: the mission still flies and
+// its metrics still aggregate; the first recording error is returned after
+// the campaign completes (alongside any context error, which takes
+// precedence as in campaign.Runner.Run).
+func RunCampaign(ctx context.Context, r *campaign.Runner, dir, name string, n int, makeCfg func(i int) pipeline.Config) (*campaign.Outcome, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	var firstErr error
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("record: mission %d: %w", i, err)
+		}
+		mu.Unlock()
+	}
+	out, err := r.Run(ctx, name, n, func(i int) qof.Metrics {
+		cfg := makeCfg(i)
+		f, ferr := os.Create(MissionPath(dir, i))
+		if ferr != nil {
+			// No file: fly unrecorded so the campaign aggregate survives.
+			record(i, ferr)
+			return pipeline.RunMission(cfg).Metrics
+		}
+		res, rerr := RunRecorded(cfg, f)
+		if cerr := f.Close(); rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			record(i, rerr)
+		}
+		return res.Metrics
+	})
+	if err != nil {
+		return out, err
+	}
+	return out, firstErr
+}

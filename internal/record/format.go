@@ -1,0 +1,334 @@
+// Package record persists missions as versioned, compressed, append-only
+// tick logs and replays them deterministically — the observability layer for
+// fault-injection campaigns (when 1 mission in 100k misbehaves, its log is
+// the audit trail) and the export path that turns campaigns into a per-tick
+// dataset. Because every mission is a pure function of its recorded header
+// (seed, world, platform, fault plan, detector state), a recording can be
+// *byte-verified*: re-simulating the header must reproduce the recorded tick
+// stream exactly, which is the CI determinism gate (`make replay-verify`).
+//
+// # On-disk format (version 1)
+//
+// A recording is a magic string ("MAVFIREC"), one format-version byte, and a
+// sequence of self-delimiting frames, each `[1-byte type][4-byte LE length]
+// [payload]`:
+//
+//   - 'H' header (JSON, exactly one, first): seed, planner, normalized
+//     mission parameters, platform model, full world geometry, fault plans,
+//     and the serialized detector model — everything a replay needs.
+//   - 'C' tick chunk (gzip): a run of consecutive binary-encoded samples.
+//     The concatenated inflated chunk payloads form the mission's canonical
+//     tick stream; chunk boundaries are a framing detail and never affect
+//     byte equality.
+//   - 'S' snapshot (binary, fixed size): periodic cumulative state — sample
+//     count, mission clock, pose, path length — so a reader can recover a
+//     consistent prefix of a truncated log (and a restarted campaign server
+//     can size up partial missions) without inflating every chunk.
+//   - 'E' events (JSON, at most one): the tagged ticks (inject, alarm,
+//     replan, crash) extracted as an index over the sample stream.
+//   - 'F' footer (JSON, exactly one, last): sample count, canonical-stream
+//     byte count and FNV-1a digest, and the mission's result metrics. A
+//     missing footer marks a recording that died mid-write (ErrIncomplete).
+//
+// Sample encoding: 8 little-endian IEEE-754 float64s (t, position xyz,
+// velocity xyz, yaw) followed by a 1-byte event-tag length and the tag
+// bytes. Tags longer than 255 bytes are truncated (real tags are ≤ ~30
+// bytes); the truncation is deterministic, so byte-verification is
+// unaffected.
+package record
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"mavfi/internal/env"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/geom"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/platform"
+	"mavfi/internal/qof"
+	"mavfi/internal/trace"
+)
+
+// Magic identifies a mission recording; the byte after it is the format
+// version.
+const Magic = "MAVFIREC"
+
+// Version is the current on-disk format version.
+const Version = 1
+
+// Frame types.
+const (
+	frameHeader   = 'H'
+	frameChunk    = 'C'
+	frameSnapshot = 'S'
+	frameEvents   = 'E'
+	frameFooter   = 'F'
+)
+
+// sampleFixedBytes is the fixed-width prefix of an encoded sample: eight
+// float64 fields plus the event-tag length byte.
+const sampleFixedBytes = 8*8 + 1
+
+// maxEventBytes caps the recorded event-tag length (the length field is one
+// byte).
+const maxEventBytes = 255
+
+// maxSampleBytes bounds one encoded sample, the headroom the writer keeps
+// free in its chunk buffer so an append can never overflow it.
+const maxSampleBytes = sampleFixedBytes + maxEventBytes
+
+// snapshotBytes is the fixed size of a snapshot frame payload: sample count
+// (uint64) plus six float64s (t, position xyz, yaw, path length).
+const snapshotBytes = 8 + 6*8
+
+// appendSample encodes s onto dst in the canonical sample encoding. It is
+// the single serialization point: the writer's tick path, the reader's
+// decoder, and the replayer's re-encoder all agree through it.
+func appendSample(dst []byte, s trace.Sample) []byte {
+	var b [8]byte
+	putF := func(f float64) {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		dst = append(dst, b[:]...)
+	}
+	putF(s.T)
+	putF(s.Pos.X)
+	putF(s.Pos.Y)
+	putF(s.Pos.Z)
+	putF(s.Vel.X)
+	putF(s.Vel.Y)
+	putF(s.Vel.Z)
+	putF(s.Yaw)
+	ev := s.Event
+	if len(ev) > maxEventBytes {
+		ev = ev[:maxEventBytes]
+	}
+	dst = append(dst, byte(len(ev)))
+	dst = append(dst, ev...)
+	return dst
+}
+
+// decodeSample decodes one sample from the front of b, returning the sample
+// and the number of bytes consumed.
+func decodeSample(b []byte) (trace.Sample, int, error) {
+	var s trace.Sample
+	if len(b) < sampleFixedBytes {
+		return s, 0, fmt.Errorf("record: truncated sample (%d bytes)", len(b))
+	}
+	getF := func(off int) float64 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+	}
+	s.T = getF(0)
+	s.Pos = geom.V(getF(8), getF(16), getF(24))
+	s.Vel = geom.V(getF(32), getF(40), getF(48))
+	s.Yaw = getF(56)
+	n := int(b[64])
+	if len(b) < sampleFixedBytes+n {
+		return s, 0, fmt.Errorf("record: truncated event tag (want %d bytes, have %d)", n, len(b)-sampleFixedBytes)
+	}
+	if n > 0 {
+		s.Event = string(b[sampleFixedBytes : sampleFixedBytes+n])
+	}
+	return s, sampleFixedBytes + n, nil
+}
+
+// WorldSpec is the serialized form of an env.World: the full obstacle
+// geometry, so a replay rebuilds the world without re-running whichever
+// generator produced it.
+type WorldSpec struct {
+	Name          string      `json:"name"`
+	Bounds        geom.AABB   `json:"bounds"`
+	Obstacles     []geom.AABB `json:"obstacles"`
+	Start         geom.Vec3   `json:"start"`
+	Goal          geom.Vec3   `json:"goal"`
+	GoalTolerance float64     `json:"goal_tolerance"`
+}
+
+// NewWorldSpec captures w's geometry.
+func NewWorldSpec(w *env.World) WorldSpec {
+	return WorldSpec{
+		Name:          w.Name,
+		Bounds:        w.Bounds,
+		Obstacles:     append([]geom.AABB(nil), w.Obstacles...),
+		Start:         w.Start,
+		Goal:          w.Goal,
+		GoalTolerance: w.GoalTolerance,
+	}
+}
+
+// World rebuilds the environment. The returned world is fresh: its lazy
+// obstacle index builds on first query, exactly as the original's did.
+func (ws WorldSpec) World() *env.World {
+	return &env.World{
+		Name:          ws.Name,
+		Bounds:        ws.Bounds,
+		Obstacles:     append([]geom.AABB(nil), ws.Obstacles...),
+		Start:         ws.Start,
+		Goal:          ws.Goal,
+		GoalTolerance: ws.GoalTolerance,
+	}
+}
+
+// DetectorSpec embeds a serialized anomaly-detector model in the header, so
+// a replayed mission re-creates the detector in its exact pre-mission state
+// (including any online-learning state accumulated during training).
+type DetectorSpec struct {
+	// Kind is "gad" or "aad" (the two schemes detect knows how to persist).
+	Kind string `json:"kind"`
+	// Model is the detect.SaveGAD / detect.SaveAAD JSON document.
+	Model json.RawMessage `json:"model"`
+}
+
+// Header is the mission header frame: everything a replay needs to re-run
+// the mission, with all pipeline defaults already resolved
+// (pipeline.Config.Normalized).
+type Header struct {
+	Version int   `json:"version"`
+	Seed    int64 `json:"seed"`
+	// Planner is the pipeline.PlannerKind ordinal; PlannerName mirrors it
+	// for human readers of the JSON.
+	Planner     int     `json:"planner"`
+	PlannerName string  `json:"planner_name"`
+	TickS       float64 `json:"tick_s"`
+	MaxMissionS float64 `json:"max_mission_s"`
+	CruiseAlt   float64 `json:"cruise_alt"`
+
+	Platform platform.Platform `json:"platform"`
+	World    WorldSpec         `json:"world"`
+
+	KernelFault *faultinject.Plan      `json:"kernel_fault,omitempty"`
+	StateFault  *faultinject.StatePlan `json:"state_fault,omitempty"`
+	Detector    *DetectorSpec          `json:"detector,omitempty"`
+
+	// SnapshotEvery is the snapshot cadence the writer used, in samples.
+	SnapshotEvery int `json:"snapshot_every"`
+}
+
+// Snapshot is the periodic cumulative state of the recording: after Samples
+// samples, the mission clock stood at T with the vehicle at Pos/Yaw having
+// flown PathLen metres.
+type Snapshot struct {
+	Samples int
+	T       float64
+	Pos     geom.Vec3
+	Yaw     float64
+	PathLen float64
+}
+
+func appendSnapshot(dst []byte, s Snapshot) []byte {
+	var b [8]byte
+	put := func(u uint64) {
+		binary.LittleEndian.PutUint64(b[:], u)
+		dst = append(dst, b[:]...)
+	}
+	put(uint64(s.Samples))
+	put(math.Float64bits(s.T))
+	put(math.Float64bits(s.Pos.X))
+	put(math.Float64bits(s.Pos.Y))
+	put(math.Float64bits(s.Pos.Z))
+	put(math.Float64bits(s.Yaw))
+	put(math.Float64bits(s.PathLen))
+	return dst
+}
+
+func decodeSnapshot(b []byte) (Snapshot, error) {
+	if len(b) != snapshotBytes {
+		return Snapshot{}, fmt.Errorf("record: snapshot frame is %d bytes, want %d", len(b), snapshotBytes)
+	}
+	get := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
+	getF := func(off int) float64 { return math.Float64frombits(get(off)) }
+	return Snapshot{
+		Samples: int(get(0)),
+		T:       getF(8),
+		Pos:     geom.V(getF(16), getF(24), getF(32)),
+		Yaw:     getF(40),
+		PathLen: getF(48),
+	}, nil
+}
+
+// Event is one tagged tick, indexed into the sample stream.
+type Event struct {
+	// Tick is the sample index carrying the tag.
+	Tick int `json:"tick"`
+	// T is the mission clock at that sample.
+	T float64 `json:"t"`
+	// Tags is the sample's event tag ("inject", "alarm+replan", ...).
+	Tags string `json:"tags"`
+}
+
+// ResultRecord is the footer's copy of the mission outcome — the part of
+// pipeline.Result a campaign server needs to rebuild its aggregates from
+// persisted missions after a restart, without re-simulating anything.
+type ResultRecord struct {
+	Outcome            int     `json:"outcome"`
+	OutcomeName        string  `json:"outcome_name"`
+	FlightTimeS        float64 `json:"flight_time_s"`
+	EnergyJ            float64 `json:"energy_j"`
+	DistanceM          float64 `json:"distance_m"`
+	ComputeS           float64 `json:"compute_s"`
+	DetectS            float64 `json:"detect_s"`
+	RecoverPerceptionS float64 `json:"recover_perception_s"`
+	RecoverPlanningS   float64 `json:"recover_planning_s"`
+	RecoverControlS    float64 `json:"recover_control_s"`
+	Alarms             int     `json:"alarms"`
+	Recomputes         int     `json:"recomputes"`
+	Plans              int     `json:"plans"`
+	PlanFails          int     `json:"plan_fails"`
+	Injected           bool    `json:"injected"`
+	InjectedAt         float64 `json:"injected_at,omitempty"`
+}
+
+// newResultRecord flattens a pipeline.Result for the footer.
+func newResultRecord(res pipeline.Result) ResultRecord {
+	return ResultRecord{
+		Outcome:            int(res.Outcome),
+		OutcomeName:        res.Outcome.String(),
+		FlightTimeS:        res.FlightTimeS,
+		EnergyJ:            res.EnergyJ,
+		DistanceM:          res.DistanceM,
+		ComputeS:           res.ComputeS,
+		DetectS:            res.DetectS,
+		RecoverPerceptionS: res.RecoverPerceptionS,
+		RecoverPlanningS:   res.RecoverPlanningS,
+		RecoverControlS:    res.RecoverControlS,
+		Alarms:             res.Alarms,
+		Recomputes:         res.Recomputes,
+		Plans:              res.Plans,
+		PlanFails:          res.PlanFails,
+		Injected:           res.Injected,
+		InjectedAt:         res.InjectedAt,
+	}
+}
+
+// Metrics rebuilds the qof view of the recorded result.
+func (r ResultRecord) Metrics() qof.Metrics {
+	return qof.Metrics{
+		Outcome:            qof.Outcome(r.Outcome),
+		FlightTimeS:        r.FlightTimeS,
+		EnergyJ:            r.EnergyJ,
+		DistanceM:          r.DistanceM,
+		ComputeS:           r.ComputeS,
+		DetectS:            r.DetectS,
+		RecoverPerceptionS: r.RecoverPerceptionS,
+		RecoverPlanningS:   r.RecoverPlanningS,
+		RecoverControlS:    r.RecoverControlS,
+		Alarms:             r.Alarms,
+		Recomputes:         r.Recomputes,
+	}
+}
+
+// Footer closes a recording: stream totals, an integrity digest, and the
+// mission result. Its presence marks the recording complete.
+type Footer struct {
+	// Samples is the number of recorded ticks.
+	Samples int `json:"samples"`
+	// PayloadBytes is the canonical tick stream's length in bytes.
+	PayloadBytes int `json:"payload_bytes"`
+	// Digest is the FNV-1a (64-bit) hash of the canonical tick stream,
+	// hex-encoded: a cheap integrity check that needs no re-simulation.
+	Digest string `json:"digest"`
+	// Result is the mission outcome.
+	Result ResultRecord `json:"result"`
+}

@@ -1,0 +1,258 @@
+package record
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mavfi/internal/trace"
+)
+
+// ErrIncomplete marks a recording with no footer frame: the writer died
+// mid-mission (crash, kill, disk full). The frames read up to that point are
+// still returned — the decoded prefix is valid — but the mission is not
+// verifiable as a whole.
+var ErrIncomplete = errors.New("record: recording has no footer (writer died mid-mission)")
+
+// Mission is one decoded recording.
+type Mission struct {
+	Header    Header
+	Samples   []trace.Sample
+	Snapshots []Snapshot
+	Events    []Event
+	Footer    Footer
+	// Complete reports whether the footer frame was present and the stream
+	// totals checked out.
+	Complete bool
+
+	// canonical is the concatenated inflated chunk payloads: the byte
+	// stream replays are verified against.
+	canonical []byte
+}
+
+// Trace rebuilds the recorded trajectory as a trace.Trace, labelled
+// world/seed — the bridge to the existing CSV outputs (trace.WriteCSV) with
+// no re-simulation.
+func (m *Mission) Trace() *trace.Trace {
+	t := &trace.Trace{Label: fmt.Sprintf("%s/seed%d", m.Header.World.Name, m.Header.Seed)}
+	t.Samples = append(t.Samples, m.Samples...)
+	return t
+}
+
+// Canonical exposes the canonical tick stream (for tests and external
+// integrity tooling). The returned slice is owned by the Mission.
+func (m *Mission) Canonical() []byte { return m.canonical }
+
+// Open reads and decodes the recording at path.
+func Open(path string) (*Mission, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := Read(f)
+	if err != nil {
+		return m, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Read decodes one recording from r. On ErrIncomplete the partially decoded
+// Mission is returned alongside the error.
+func Read(r io.Reader) (*Mission, error) {
+	return readMission(r, false)
+}
+
+// readMission decodes a recording. With skipSamples, chunk frames are
+// skipped without inflation — header/snapshot/footer metadata only, the
+// cheap mode directory scans use.
+func readMission(r io.Reader, skipSamples bool) (*Mission, error) {
+	magic := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("record: reading magic: %w", err)
+	}
+	if string(magic[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("record: bad magic %q (not a mission recording)", magic[:len(Magic)])
+	}
+	if v := magic[len(Magic)]; v != Version {
+		return nil, fmt.Errorf("record: unsupported format version %d (reader supports %d)", v, Version)
+	}
+
+	m := &Mission{}
+	var (
+		sawHeader bool
+		sawFooter bool
+		zr        *gzip.Reader
+	)
+	for {
+		kind, payload, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return m, err
+		}
+		switch kind {
+		case frameHeader:
+			if sawHeader {
+				return m, errors.New("record: duplicate header frame")
+			}
+			if err := json.Unmarshal(payload, &m.Header); err != nil {
+				return m, fmt.Errorf("record: decoding header: %w", err)
+			}
+			sawHeader = true
+		case frameChunk:
+			if !sawHeader {
+				return m, errors.New("record: chunk frame before header")
+			}
+			if skipSamples {
+				continue
+			}
+			if zr == nil {
+				zr, err = gzip.NewReader(bytes.NewReader(payload))
+			} else {
+				err = zr.Reset(bytes.NewReader(payload))
+			}
+			if err != nil {
+				return m, fmt.Errorf("record: opening chunk: %w", err)
+			}
+			raw, err := io.ReadAll(zr)
+			if err != nil {
+				return m, fmt.Errorf("record: inflating chunk: %w", err)
+			}
+			m.canonical = append(m.canonical, raw...)
+		case frameSnapshot:
+			s, err := decodeSnapshot(payload)
+			if err != nil {
+				return m, err
+			}
+			m.Snapshots = append(m.Snapshots, s)
+		case frameEvents:
+			if err := json.Unmarshal(payload, &m.Events); err != nil {
+				return m, fmt.Errorf("record: decoding events: %w", err)
+			}
+		case frameFooter:
+			if err := json.Unmarshal(payload, &m.Footer); err != nil {
+				return m, fmt.Errorf("record: decoding footer: %w", err)
+			}
+			sawFooter = true
+		default:
+			// Unknown frame types are skipped, not rejected: a version-1
+			// reader stays forward-compatible with additive frame types.
+		}
+	}
+	if !sawHeader {
+		return m, errors.New("record: no header frame")
+	}
+
+	if !skipSamples {
+		for off := 0; off < len(m.canonical); {
+			s, n, err := decodeSample(m.canonical[off:])
+			if err != nil {
+				return m, err
+			}
+			m.Samples = append(m.Samples, s)
+			off += n
+		}
+	}
+
+	if !sawFooter {
+		return m, ErrIncomplete
+	}
+	if !skipSamples {
+		if len(m.canonical) != m.Footer.PayloadBytes {
+			return m, fmt.Errorf("record: canonical stream is %d bytes, footer says %d",
+				len(m.canonical), m.Footer.PayloadBytes)
+		}
+		if len(m.Samples) != m.Footer.Samples {
+			return m, fmt.Errorf("record: decoded %d samples, footer says %d",
+				len(m.Samples), m.Footer.Samples)
+		}
+		h := fnv.New64a()
+		h.Write(m.canonical)
+		if got := fmt.Sprintf("%016x", h.Sum64()); got != m.Footer.Digest {
+			return m, fmt.Errorf("record: tick-stream digest %s does not match footer %s (corrupt recording)",
+				got, m.Footer.Digest)
+		}
+	}
+	m.Complete = true
+	return m, nil
+}
+
+// readFrame reads one frame; io.EOF at a frame boundary is a clean end.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("record: truncated frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	payload := make([]byte, n)
+	if got, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("record: truncated frame payload (%d of %d bytes): %w", got, n, err)
+	}
+	return hdr[0], payload, nil
+}
+
+// Info is a recording's metadata without its tick payload: what a campaign
+// server scans on restart to rebuild its view of completed missions.
+type Info struct {
+	// Path is the recording file.
+	Path string
+	// Header is the mission header.
+	Header Header
+	// Footer is the footer; meaningful only when Complete.
+	Footer Footer
+	// Complete reports whether the recording has a footer.
+	Complete bool
+	// Snapshots holds the snapshot frames; for an incomplete recording the
+	// last one bounds how far the mission got before the writer died.
+	Snapshots []Snapshot
+}
+
+// ScanDir reads the metadata of every *.rec file directly under dir (sorted
+// by name) without inflating tick chunks — the restart-persistence scan: a
+// campaign server recovering from a crash learns which missions completed
+// (footer present, result usable as-is) and which need re-running.
+func ScanDir(dir string) ([]Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var infos []Info
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".rec") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			return infos, err
+		}
+		m, err := readMission(f, true)
+		f.Close()
+		if err != nil && !errors.Is(err, ErrIncomplete) {
+			return infos, fmt.Errorf("%s: %w", path, err)
+		}
+		infos = append(infos, Info{
+			Path:      path,
+			Header:    m.Header,
+			Footer:    m.Footer,
+			Complete:  err == nil,
+			Snapshots: m.Snapshots,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Path < infos[j].Path })
+	return infos, nil
+}

@@ -26,6 +26,27 @@ type Trace struct {
 	Samples []Sample
 }
 
+// Sink receives a mission's trajectory samples as the flight progresses —
+// the streaming counterpart to reading Result.Trace after the mission ends,
+// used by the mission recorder (internal/record) to persist ticks while the
+// mission is still flying.
+//
+// Contract: Append is called once per sample, in tick order, and only with
+// finalized samples — samples whose Event tag can no longer change. Event
+// tags attach retroactively (MarkEvent tags the most recent sample, and a
+// tick's replan/alarm tags land before the *next* sample is added), so the
+// pipeline streams sample i only once sample i+1 is about to be recorded,
+// and flushes the remainder at mission end. Append must not retain s's
+// Event string beyond the call if it wants to stay allocation-free; it is
+// invoked from the mission tick loop, so implementations must keep the call
+// cheap and must not block on unbounded work (the record.Writer compresses
+// on a background goroutine behind a bounded queue for exactly this reason).
+// Errors are reported out of band (e.g. record.Writer.Close): Append does
+// not return one, keeping the tick path free of error-wrapping allocations.
+type Sink interface {
+	Append(s Sample)
+}
+
 // Add appends a sample. Within a Reserve'd capacity Add never allocates,
 // which is how recorded missions keep the steady-state tick loop
 // allocation-free.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -96,6 +97,61 @@ func TestWriteAllCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "golden,") || !strings.Contains(out, "fault,") {
 		t.Error("labels missing")
+	}
+}
+
+func TestEventsOrderingAndFiltering(t *testing.T) {
+	tr := &Trace{}
+	tags := map[int]string{2: "inject", 5: "alarm", 9: "crash"}
+	for i := 0; i < 10; i++ {
+		tr.Add(Sample{T: float64(i)})
+		if tag, ok := tags[i]; ok {
+			tr.MarkEvent(tag)
+		}
+	}
+	evs := tr.Events()
+	if len(evs) != len(tags) {
+		t.Fatalf("Events returned %d samples, want %d", len(evs), len(tags))
+	}
+	for i, want := range []string{"inject", "alarm", "crash"} {
+		if evs[i].Event != want {
+			t.Errorf("event %d = %q, want %q (tick order must be preserved)", i, evs[i].Event, want)
+		}
+	}
+	if evs[0].T != 2 || evs[1].T != 5 || evs[2].T != 9 {
+		t.Errorf("event times = %v,%v,%v", evs[0].T, evs[1].T, evs[2].T)
+	}
+	if got := (&Trace{}).Events(); len(got) != 0 {
+		t.Errorf("empty trace has %d events", len(got))
+	}
+}
+
+// failWriter fails every write after the first n.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errFail
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errFail = errors.New("sink failed")
+
+func TestWriteCSVErrorPropagation(t *testing.T) {
+	tr := lineTrace()
+	if err := tr.WriteCSV(&failWriter{}, true); !errors.Is(err, errFail) {
+		t.Errorf("header write error not propagated: %v", err)
+	}
+	if err := tr.WriteCSV(&failWriter{n: 3}, true); !errors.Is(err, errFail) {
+		t.Errorf("row write error not propagated: %v", err)
+	}
+	if err := WriteAllCSV(&failWriter{n: 1}, tr, tr); !errors.Is(err, errFail) {
+		t.Errorf("WriteAllCSV error not propagated: %v", err)
+	}
+	if err := WriteAllCSV(&strings.Builder{}); err != nil {
+		t.Errorf("WriteAllCSV with no traces: %v", err)
 	}
 }
 
