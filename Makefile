@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan bench-probes docs-check record replay replay-verify staticcheck vulncheck
+.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan bench-probes docs-check record replay replay-verify matrix-smoke staticcheck vulncheck
 
 build:
 	$(GO) build ./...
@@ -85,15 +85,33 @@ replay-verify:
 	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w1/nominal -runs 3 -seed 1 -workers 1
 	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w1/kfault -kernel planner -runs 3 -seed 1 -workers 1
 	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w1/sfault -state wp_x -runs 3 -seed 1 -workers 1
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w1/senfault -fault sensor -runs 3 -seed 1 -workers 1
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w1/actfault -fault actuator -runs 3 -seed 1 -workers 1
 	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w4/nominal -runs 3 -seed 1 -workers 4
 	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w4/kfault -kernel planner -runs 3 -seed 1 -workers 4
 	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w4/sfault -state wp_x -runs 3 -seed 1 -workers 4
-	@for cell in nominal kfault sfault; do \
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w4/senfault -fault sensor -runs 3 -seed 1 -workers 4
+	$(GO) run ./cmd/mavfi-replay -record -o data/ci/w4/actfault -fault actuator -runs 3 -seed 1 -workers 4
+	@for cell in nominal kfault sfault senfault actfault; do \
 		for f in data/ci/w1/$$cell/*.rec; do \
 			cmp "$$f" "data/ci/w4/$$cell/$$(basename $$f)" || exit 1; \
 		done; \
 	done; echo "worker-width byte-identity: ok"
-	$(GO) run ./cmd/mavfi-replay -verify data/ci/w1/nominal data/ci/w1/kfault data/ci/w1/sfault
+	$(GO) run ./cmd/mavfi-replay -verify data/ci/w1/nominal data/ci/w1/kfault data/ci/w1/sfault data/ci/w1/senfault data/ci/w1/actfault
+
+# matrix-smoke is the CI campaign-matrix determinism gate: a tiny matrix
+# (2 worlds x 3 zoo families x 2 severities, 2 missions per cell) run at 1
+# and 4 workers, requiring every per-cell CSV and the summary to be
+# byte-identical across widths. No -deadline: wall-clock deadlines are the
+# one knob that trades the byte-identity invariant for runaway protection.
+matrix-smoke:
+	rm -rf data/matrix
+	$(GO) run ./cmd/mavfi matrix -worlds sparse,factory -families sensor,actuator,wind \
+		-severities low,high -runs 2 -seed 1 -workers 1 -csv-dir data/matrix/w1
+	$(GO) run ./cmd/mavfi matrix -worlds sparse,factory -families sensor,actuator,wind \
+		-severities low,high -runs 2 -seed 1 -workers 4 -csv-dir data/matrix/w4
+	diff -r data/matrix/w1 data/matrix/w4
+	@echo "matrix worker-width byte-identity: ok"
 
 # staticcheck / vulncheck run pinned analyzer versions via `go run`, so CI
 # and local runs use identical tools with nothing to install.

@@ -8,13 +8,16 @@
 //
 // Usage:
 //
-//	mavfi-replay -record -o DIR [-env sparse] [-kernel planner | -state wp_x]
-//	             [-runs 4] [-seed 1] [-workers 0]
+//	mavfi-replay -record -o DIR [-env sparse]
+//	             [-kernel planner | -state wp_x | -fault sensor[:kind]]
+//	             [-severity 1.0] [-runs 4] [-seed 1] [-workers 0]
 //	    record a campaign cell, one .rec file per mission under DIR
 //
 //	mavfi-replay -verify PATH...
 //	    re-simulate each recording (file or directory of *.rec) and fail
-//	    unless the recomputed tick stream byte-matches the log
+//	    unless the recomputed tick stream byte-matches the log; corrupt or
+//	    incomplete files are reported and skipped, the aggregate summary
+//	    decides the exit status
 //
 //	mavfi-replay -csv PATH [> out.csv]
 //	    render a recording to the standard trace CSV without re-simulation
@@ -25,6 +28,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -33,7 +37,7 @@ import (
 	"strings"
 
 	"mavfi/internal/campaign"
-	"mavfi/internal/env"
+	"mavfi/internal/campaign/matrix"
 	"mavfi/internal/faultinject"
 	"mavfi/internal/pipeline"
 	"mavfi/internal/record"
@@ -63,13 +67,15 @@ func main() {
 		doCSV    = flag.Bool("csv", false, "render one recording to CSV on stdout")
 		doInfo   = flag.Bool("info", false, "print recording metadata")
 
-		out     = flag.String("o", "", "output directory for -record")
-		envName = flag.String("env", "sparse", "environment: factory, farm, sparse, dense")
-		kernel  = flag.String("kernel", "", "kernel to inject (instruction-level mode)")
-		state   = flag.String("state", "", "inter-kernel state to corrupt (message-level mode)")
-		runs    = flag.Int("runs", 4, "missions to record")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		workers = flag.Int("workers", 0, "campaign worker goroutines (0 = MAVFI_WORKERS, else GOMAXPROCS)")
+		out      = flag.String("o", "", "output directory for -record")
+		envName  = flag.String("env", "sparse", "environment: factory, farm, sparse, dense")
+		kernel   = flag.String("kernel", "", "kernel to inject (instruction-level mode)")
+		state    = flag.String("state", "", "inter-kernel state to corrupt (message-level mode)")
+		fault    = flag.String("fault", "", "zoo fault family[:kind], e.g. sensor, actuator:thrust_loss, wind")
+		severity = flag.Float64("severity", 1.0, "fault severity scale for -fault families")
+		runs     = flag.Int("runs", 4, "missions to record")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		workers  = flag.Int("workers", 0, "campaign worker goroutines (0 = MAVFI_WORKERS, else GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -90,11 +96,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-record requires -o DIR")
 			os.Exit(2)
 		}
-		if *kernel != "" && *state != "" {
-			fmt.Fprintln(os.Stderr, "specify at most one of -kernel or -state")
+		faults := 0
+		for _, set := range []bool{*kernel != "", *state != "", *fault != ""} {
+			if set {
+				faults++
+			}
+		}
+		if faults > 1 {
+			fmt.Fprintln(os.Stderr, "specify at most one of -kernel, -state, or -fault")
 			os.Exit(2)
 		}
-		if err := recordCell(*out, *envName, *kernel, *state, *runs, *seed, *workers); err != nil {
+		if err := recordCell(*out, *envName, *kernel, *state, *fault, *severity, *runs, *seed, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -131,30 +143,12 @@ func main() {
 	}
 }
 
-// makeWorld builds the named environment with the same fixed generator seed
-// cmd/mavfi uses, so recordings are comparable across tools.
-func makeWorld(name string) (*env.World, error) {
-	rng := rand.New(rand.NewSource(1))
-	switch name {
-	case "factory":
-		return env.Factory(), nil
-	case "farm":
-		return env.Farm(), nil
-	case "sparse":
-		return env.Sparse(rng), nil
-	case "dense":
-		return env.Dense(rng), nil
-	default:
-		return nil, fmt.Errorf("unknown env %q", name)
-	}
-}
-
-// recordCell records one campaign cell — nominal, or with a kernel/state
-// fault drawn per mission exactly as cmd/mavfi draws them (calibration count,
-// then a sequential plan RNG), so a recorded cell is a faithful slice of the
-// full fault-injection campaign.
-func recordCell(dir, envName, kernel, state string, runs int, seed int64, workers int) error {
-	world, err := makeWorld(envName)
+// recordCell records one campaign cell — nominal, or with a fault drawn per
+// mission exactly as cmd/mavfi draws them (calibration count where the family
+// needs one, then a sequential plan RNG), so a recorded cell is a faithful
+// slice of the full fault-injection campaign.
+func recordCell(dir, envName, kernel, state, fault string, severity float64, runs int, seed int64, workers int) error {
+	world, err := matrix.World(envName)
 	if err != nil {
 		return err
 	}
@@ -183,6 +177,24 @@ func recordCell(dir, envName, kernel, state string, runs int, seed int64, worker
 		for i := 0; i < runs; i++ {
 			plan := faultinject.NewStatePlan(s, nominal*0.15, nominal*0.85, planRNG)
 			cfgs = append(cfgs, pipeline.Config{World: world, Seed: seed + int64(i), StateFault: &plan})
+		}
+	case fault != "":
+		fam, spec, err := faultinject.ParseTarget(fault)
+		if err != nil {
+			return err
+		}
+		spec.NominalS = pipeline.NominalDuration(pipeline.Config{World: world})
+		spec.Severity = severity
+		var ctr *faultinject.Counter
+		if fam == faultinject.FamilyKernel {
+			ctr = faultinject.NewCounter()
+			pipeline.RunMission(pipeline.Config{World: world, Seed: seed + 555, Counter: ctr})
+		}
+		planRNG := rand.New(rand.NewSource(seed + 42))
+		for i := 0; i < runs; i++ {
+			cfg := pipeline.Config{World: world, Seed: seed + int64(i)}
+			cfg.SetFault(faultinject.DrawFault(fam, spec, ctr, planRNG))
+			cfgs = append(cfgs, cfg)
 		}
 	default:
 		for i := 0; i < runs; i++ {
@@ -220,23 +232,35 @@ func expand(args []string) []string {
 }
 
 // verifyAll re-simulates every recording and reports per-file pass/fail.
+// A corrupt, incomplete, or diverging file never stops the sweep — every
+// remaining path is still checked — and the aggregate summary decides the
+// overall result, so one bad recording in a campaign directory surfaces
+// without masking the state of the rest.
 func verifyAll(paths []string) bool {
-	ok := true
+	var passed, incomplete, failed int
 	for _, path := range paths {
 		m, err := record.Open(path)
 		if err != nil {
-			fmt.Printf("FAIL  %s: %v\n", path, err)
-			ok = false
+			if errors.Is(err, record.ErrIncomplete) {
+				fmt.Printf("INCOMPLETE  %s: %v\n", path, err)
+				incomplete++
+			} else {
+				fmt.Printf("FAIL  %s: %v\n", path, err)
+				failed++
+			}
 			continue
 		}
 		if err := m.Verify(); err != nil {
 			fmt.Printf("FAIL  %s: %v\n", path, err)
-			ok = false
+			failed++
 			continue
 		}
 		fmt.Printf("ok    %s (%d ticks byte-identical)\n", path, m.Footer.Samples)
+		passed++
 	}
-	return ok
+	fmt.Printf("verified %d recordings: %d ok, %d incomplete, %d failed\n",
+		len(paths), passed, incomplete, failed)
+	return incomplete == 0 && failed == 0
 }
 
 // printInfo dumps one recording's metadata.
@@ -252,6 +276,15 @@ func printInfo(path string) {
 		fault = fmt.Sprintf("kernel %s idx=%d bit=%d", h.KernelFault.Kernel, h.KernelFault.Index, h.KernelFault.Bit)
 	} else if h.StateFault != nil {
 		fault = fmt.Sprintf("state %s t=%.2f bit=%d", h.StateFault.State, h.StateFault.Time, h.StateFault.Bit)
+	} else if h.SensorFault != nil {
+		fault = fmt.Sprintf("sensor %s onset=%.2fs dur=%.2fs sev=%.2f",
+			h.SensorFault.Kind, h.SensorFault.OnsetS, h.SensorFault.DurationS, h.SensorFault.Severity)
+	} else if h.ActuatorFault != nil {
+		fault = fmt.Sprintf("actuator %s onset=%.2fs dur=%.2fs sev=%.2f",
+			h.ActuatorFault.Kind, h.ActuatorFault.OnsetS, h.ActuatorFault.DurationS, h.ActuatorFault.Severity)
+	} else if h.WindFault != nil {
+		fault = fmt.Sprintf("wind onset=%.2fs dur=%.2fs sev=%.2f",
+			h.WindFault.OnsetS, h.WindFault.DurationS, h.WindFault.Severity)
 	}
 	det := "none"
 	if h.Detector != nil {

@@ -1,18 +1,30 @@
-// Command mavfi runs a fault-injection campaign: N missions with one-time
-// single-bit injections into a chosen kernel or inter-kernel state, with
-// optional anomaly detection & recovery, reporting success rate and
-// flight-time statistics against the golden baseline.
+// Command mavfi runs fault-injection campaigns: single-cell campaigns with
+// one fault model against the golden baseline, and full campaign-matrix
+// sweeps over (world × fault family × severity × detector × recovery).
 //
 // Usage:
 //
 //	mavfi [-env sparse] [-kernel pcgen|octomap|colcheck|planner|pid]
 //	      [-state time_to_collision|...|vz]
+//	      [-fault kernel|state|sensor|actuator|wind[:kind]] [-severity 1.0]
 //	      [-detector none|gad|aad] [-runs 100] [-train 50] [-seed 1]
 //	      [-record-dir data/campaigns/cell]
 //
-// With -record-dir, every mission (golden and injection) is persisted as a
+//	mavfi matrix [-worlds sparse,factory] [-families all]
+//	      [-severities low,high] [-detectors none,gad] [-recoveries on]
+//	      [-runs 4] [-seed 1] [-workers 0] [-csv-dir DIR]
+//	      [-deadline 0] [-max-mission 0] [-train 12]
+//
+// The single-cell mode injects exactly one fault model: -kernel/-state are
+// the paper's compute faults, -fault draws from any zoo family (optionally
+// restricted to one mechanism, e.g. -fault sensor:ray_dropout). With
+// -record-dir, every mission (golden and injection) is persisted as a
 // replayable recording under DIR/golden and DIR/injection; inspect or
 // byte-verify them with mavfi-replay.
+//
+// The matrix mode runs the deterministic campaign matrix: cells and
+// missions are seed-stable and the per-cell CSVs (-csv-dir) are
+// byte-identical at any -workers width.
 package main
 
 import (
@@ -22,10 +34,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mavfi/internal/campaign"
+	"mavfi/internal/campaign/matrix"
 	"mavfi/internal/detect"
-	"mavfi/internal/env"
 	"mavfi/internal/faultinject"
 	"mavfi/internal/pipeline"
 	"mavfi/internal/platform"
@@ -51,10 +64,17 @@ func stateByName(name string) (faultinject.StateID, bool) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "matrix" {
+		runMatrix(os.Args[2:])
+		return
+	}
+
 	var (
 		envName  = flag.String("env", "sparse", "environment: factory, farm, sparse, dense")
 		kernel   = flag.String("kernel", "", "kernel to inject (instruction-level mode)")
 		state    = flag.String("state", "", "inter-kernel state to corrupt (message-level mode)")
+		fault    = flag.String("fault", "", "zoo fault family[:kind], e.g. sensor, actuator:thrust_loss, wind")
+		severity = flag.Float64("severity", 1.0, "fault severity scale for -fault families")
 		detector = flag.String("detector", "none", "protection: none, gad, aad")
 		runs     = flag.Int("runs", 100, "fault-injection missions")
 		train    = flag.Int("train", 50, "training environments when a detector is enabled")
@@ -64,24 +84,20 @@ func main() {
 	)
 	flag.Parse()
 
-	var world *env.World
-	rng := rand.New(rand.NewSource(1))
-	switch *envName {
-	case "factory":
-		world = env.Factory()
-	case "farm":
-		world = env.Farm()
-	case "sparse":
-		world = env.Sparse(rng)
-	case "dense":
-		world = env.Dense(rng)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown env %q\n", *envName)
+	world, err := matrix.World(*envName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	if (*kernel == "") == (*state == "") {
-		fmt.Fprintln(os.Stderr, "specify exactly one of -kernel or -state")
+	modes := 0
+	for _, set := range []bool{*kernel != "", *state != "", *fault != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "specify exactly one of -kernel, -state, or -fault")
 		os.Exit(2)
 	}
 
@@ -139,7 +155,8 @@ func main() {
 	cfgs := make([]pipeline.Config, *runs)
 	for i := range cfgs {
 		cfg := pipeline.Config{World: world, Seed: *seed + int64(i)}
-		if *kernel != "" {
+		switch {
+		case *kernel != "":
 			k, ok := kernelNames[*kernel]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
@@ -147,7 +164,7 @@ func main() {
 			}
 			plan := faultinject.NewPlan(k, ctr.Count(k), planRNG)
 			cfg.KernelFault = &plan
-		} else {
+		case *state != "":
 			s, ok := stateByName(*state)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown state %q\n", *state)
@@ -155,6 +172,15 @@ func main() {
 			}
 			plan := faultinject.NewStatePlan(s, nominal*0.15, nominal*0.85, planRNG)
 			cfg.StateFault = &plan
+		default:
+			fam, spec, err := faultinject.ParseTarget(*fault)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			spec.NominalS = nominal
+			spec.Severity = *severity
+			cfg.SetFault(faultinject.DrawFault(fam, spec, ctr, planRNG))
 		}
 		cfgs[i] = cfg
 	}
@@ -216,4 +242,94 @@ func main() {
 func report(name string, c *qof.Campaign) {
 	s := c.FlightTimeSummary()
 	fmt.Printf("%s n=%d success=%.1f%% flight time %s\n", name, c.N(), c.SuccessRate()*100, s)
+}
+
+// runMatrix is the `mavfi matrix` subcommand: a deterministic campaign
+// matrix over (world × family × severity × detector × recovery).
+func runMatrix(argv []string) {
+	fs := flag.NewFlagSet("mavfi matrix", flag.ExitOnError)
+	var (
+		worlds     = fs.String("worlds", "sparse", "comma-separated environments: factory, farm, sparse, dense")
+		families   = fs.String("families", "all", "comma-separated fault families (kernel,state,sensor,actuator,wind) or all")
+		severities = fs.String("severities", "low,high", "comma-separated severity levels (low, med, high, or name=scale)")
+		detectors  = fs.String("detectors", "none", "comma-separated detectors: none, gad, aad")
+		recovery   = fs.String("recoveries", "on", "recovery axis for detector cells: on, off, or on,off")
+		runs       = fs.Int("runs", 4, "missions per cell")
+		seed       = fs.Int64("seed", 1, "matrix seed (every cell and mission seed derives from it)")
+		workers    = fs.Int("workers", 0, "campaign worker goroutines (0 = MAVFI_WORKERS, else GOMAXPROCS)")
+		train      = fs.Int("train", 12, "training environments when gad/aad is on the detector axis")
+		maxMission = fs.Float64("max-mission", 0, "mission time budget in sim seconds (0 = pipeline default)")
+		deadline   = fs.Duration("deadline", 0, "per-mission wall-clock deadline (0 = none; breaks byte-identity)")
+		csvDir     = fs.String("csv-dir", "", "write per-cell and summary CSVs under DIR")
+	)
+	fs.Parse(argv)
+
+	fams, err := matrix.ParseFamilies(*families)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sevs, err := matrix.ParseSeverities(*severities)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var recs []bool
+	for _, part := range strings.Split(*recovery, ",") {
+		switch strings.TrimSpace(part) {
+		case "on":
+			recs = append(recs, true)
+		case "off":
+			recs = append(recs, false)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown recovery mode %q (want on, off)\n", part)
+			os.Exit(2)
+		}
+	}
+
+	spec := matrix.Spec{
+		Worlds:      splitList(*worlds),
+		Families:    fams,
+		Severities:  sevs,
+		Detectors:   splitList(*detectors),
+		Recoveries:  recs,
+		Runs:        *runs,
+		Seed:        *seed,
+		MaxMissionS: *maxMission,
+		TrainEnvs:   *train,
+		Workers:     *workers,
+		Deadline:    *deadline,
+		Progress: func(done, total int) {
+			if done%50 == 0 || done == total {
+				fmt.Printf("missions %d/%d\n", done, total)
+			}
+		},
+	}
+	res, err := matrix.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Table())
+	if *csvDir != "" {
+		if err := res.WriteCSV(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "writing CSVs:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d cell CSVs + summary.csv under %s\n", len(res.Cells), *csvDir)
+	}
+	for _, p := range res.Panics {
+		fmt.Fprintf(os.Stderr, "mission %d panicked: %s\n", p.Index, p.Value)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -25,11 +25,15 @@ package campaign
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mavfi/internal/qof"
 	"mavfi/internal/stats"
@@ -55,6 +59,7 @@ func DefaultWorkers() int {
 type Runner struct {
 	workers  int
 	progress func(done, total int)
+	deadline time.Duration
 }
 
 // Option configures a Runner.
@@ -76,6 +81,24 @@ func WithWorkers(n int) Option {
 // The hook may be called concurrently from multiple workers.
 func WithProgress(fn func(done, total int)) Option {
 	return func(r *Runner) { r.progress = fn }
+}
+
+// WithMissionDeadline bounds each mission's wall-clock run time in Run: a
+// mission still running when the deadline expires is abandoned and recorded
+// as qof.DeadlineExceeded (its goroutine keeps running detached until it
+// finishes — missions cannot be preempted — but the campaign no longer waits
+// for it). Zero or negative disables the deadline.
+//
+// Deadlines are a robustness guard against runaway missions, not a
+// determinism feature: whether a borderline mission beats its deadline
+// depends on host load, so deadline-bearing campaigns are excluded from the
+// byte-identity invariants (the CI matrix smoke runs without one).
+func WithMissionDeadline(d time.Duration) Option {
+	return func(r *Runner) {
+		if d > 0 {
+			r.deadline = d
+		}
+	}
 }
 
 // New builds a Runner with DefaultWorkers workers unless overridden.
@@ -156,6 +179,17 @@ func (r *Runner) forEach(ctx context.Context, n int, fn func(worker, i int)) err
 // campaign results stay independent of scheduling.
 type Mission func(i int) qof.Metrics
 
+// MissionPanic records one isolated mission panic: which mission, what it
+// panicked with, and the goroutine stack captured at the recover site.
+type MissionPanic struct {
+	// Index is the mission index within the campaign.
+	Index int
+	// Value is the panic value, rendered with %v.
+	Value string
+	// Stack is the panicking goroutine's stack (runtime/debug.Stack).
+	Stack string
+}
+
 // Outcome is one campaign's aggregate: the mission-ordered qof.Campaign plus
 // cheap online statistics over successful missions, accumulated per worker
 // and combined with stats.Welford.Merge.
@@ -171,12 +205,22 @@ type Outcome struct {
 	// reassociation; the Campaign itself is bit-identical.
 	FlightTime stats.Welford
 	EnergyJ    stats.Welford
+	// Panics lists the isolated mission panics in mission-index order; the
+	// corresponding Campaign results carry qof.Panicked. A healthy campaign
+	// has none.
+	Panics []MissionPanic
 }
 
 // Run executes the n missions of one campaign across the pool and aggregates
 // them. On cancellation it returns the partial Outcome together with
 // ctx.Err(); the partial campaign covers the longest contiguous prefix of
 // completed missions.
+//
+// Run degrades gracefully instead of tearing the campaign down: a panicking
+// mission is isolated into a qof.Panicked result (stack in Outcome.Panics)
+// and, when a WithMissionDeadline is set, an overrunning mission is
+// abandoned as qof.DeadlineExceeded. Both outcomes flow through the ordinary
+// aggregation, so one poisoned mission costs one cell entry, not the sweep.
 func (r *Runner) Run(ctx context.Context, name string, n int, mission Mission) (*Outcome, error) {
 	results := make([]qof.Metrics, n)
 	ran := make([]bool, n)
@@ -184,8 +228,15 @@ func (r *Runner) Run(ctx context.Context, name string, n int, mission Mission) (
 		flight, energy stats.Welford
 	}
 	shards := make([]shard, r.workers)
+	var panicMu sync.Mutex
+	var panics []MissionPanic
+	onPanic := func(p MissionPanic) {
+		panicMu.Lock()
+		panics = append(panics, p)
+		panicMu.Unlock()
+	}
 	err := r.forEach(ctx, n, func(w, i int) {
-		m := mission(i)
+		m := r.runGuarded(i, mission, onPanic)
 		results[i], ran[i] = m, true
 		if m.Succeeded() {
 			shards[w].flight.Add(m.FlightTimeS)
@@ -193,6 +244,10 @@ func (r *Runner) Run(ctx context.Context, name string, n int, mission Mission) (
 		}
 	})
 	out := &Outcome{Campaign: &qof.Campaign{Name: name}}
+	panicMu.Lock()
+	out.Panics = append(out.Panics, panics...)
+	panicMu.Unlock()
+	sort.Slice(out.Panics, func(a, b int) bool { return out.Panics[a].Index < out.Panics[b].Index })
 	for i := range results {
 		if !ran[i] {
 			break
@@ -216,4 +271,40 @@ func (r *Runner) Run(ctx context.Context, name string, n int, mission Mission) (
 		out.EnergyJ.Merge(&shards[w].energy)
 	}
 	return out, nil
+}
+
+// runGuarded executes mission(i) with panic isolation and the optional
+// wall-clock deadline. Without a deadline the mission runs inline on the
+// worker goroutine — no extra goroutine, no timer — so hardened execution is
+// bit-identical (and allocation-identical) to the pre-hardening engine for
+// well-behaved missions.
+func (r *Runner) runGuarded(i int, mission Mission, onPanic func(MissionPanic)) qof.Metrics {
+	if r.deadline <= 0 {
+		return callIsolated(i, mission, onPanic)
+	}
+	done := make(chan qof.Metrics, 1)
+	go func() { done <- callIsolated(i, mission, onPanic) }()
+	timer := time.NewTimer(r.deadline)
+	defer timer.Stop()
+	select {
+	case m := <-done:
+		return m
+	case <-timer.C:
+		// The mission goroutine keeps running detached (missions cannot be
+		// preempted) and parks its eventual result in the buffered channel;
+		// the campaign stops waiting for it now.
+		return qof.Metrics{Outcome: qof.DeadlineExceeded}
+	}
+}
+
+// callIsolated invokes mission(i), converting a panic into a structured
+// qof.Panicked result instead of tearing down the whole campaign.
+func callIsolated(i int, mission Mission, onPanic func(MissionPanic)) (m qof.Metrics) {
+	defer func() {
+		if v := recover(); v != nil {
+			onPanic(MissionPanic{Index: i, Value: fmt.Sprintf("%v", v), Stack: string(debug.Stack())})
+			m = qof.Metrics{Outcome: qof.Panicked}
+		}
+	}()
+	return mission(i)
 }

@@ -1,0 +1,401 @@
+// Package matrix is the deterministic campaign-matrix runner: it sweeps the
+// full cross product of (world × fault family × severity × detector ×
+// recovery) cells through one hardened campaign.Runner pool and aggregates
+// per-cell campaigns, a Table-I-style summary, and per-cell CSV exports.
+//
+// Determinism is the package's contract. Every cell derives its own seed
+// from the matrix seed and the cell's identity — campaign.MissionSeed over
+// an FNV-64a hash of the canonical cell name — so a cell's seed is stable
+// under re-ordering or pruning of the axes (dropping a family never
+// reshuffles the remaining cells' schedules). Every mission derives its
+// seed from the cell seed the same way, and every cell's fault schedule is
+// drawn up front
+// from a cell-seeded plan RNG (one faultinject.DrawFault per mission, in
+// mission order — the faultinject RNG contract). Mission results are then
+// pure functions of the flat mission index, so the whole matrix — and the
+// CSV files rendered from it — is byte-identical at any worker width (the
+// `make matrix-smoke` CI gate). Wall-clock deadlines (Spec.Deadline) are the
+// one escape hatch: they trade that invariant for runaway protection, so
+// the smoke gate runs without one.
+//
+// The package lives under internal/campaign (not inside it) because
+// internal/pipeline imports the campaign engine for training collection;
+// the matrix layer sits above both.
+package matrix
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"mavfi/internal/campaign"
+	"mavfi/internal/detect"
+	"mavfi/internal/env"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/pipeline"
+	"mavfi/internal/platform"
+	"mavfi/internal/qof"
+)
+
+// Severity is one named magnitude level of the sweep's severity axis; Scale
+// feeds faultinject.DrawSpec.Severity.
+type Severity struct {
+	Name  string
+	Scale float64
+}
+
+// severityLevels are the named levels ParseSeverities accepts.
+var severityLevels = map[string]float64{
+	"low":  0.35,
+	"med":  0.6,
+	"high": 1.0,
+}
+
+// DefaultSeverities is the default severity axis.
+func DefaultSeverities() []Severity {
+	return []Severity{{Name: "low", Scale: 0.35}, {Name: "high", Scale: 1.0}}
+}
+
+// ParseSeverities parses a comma-separated severity axis: named levels
+// ("low", "med", "high") or explicit "name=scale" pairs.
+func ParseSeverities(s string) ([]Severity, error) {
+	var out []Severity
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, val, ok := strings.Cut(part, "="); ok {
+			scale, err := strconv.ParseFloat(val, 64)
+			if err != nil || scale <= 0 {
+				return nil, fmt.Errorf("matrix: bad severity %q (want name=positive-scale)", part)
+			}
+			out = append(out, Severity{Name: name, Scale: scale})
+			continue
+		}
+		scale, ok := severityLevels[part]
+		if !ok {
+			return nil, fmt.Errorf("matrix: unknown severity level %q (have low, med, high, or name=scale)", part)
+		}
+		out = append(out, Severity{Name: part, Scale: scale})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("matrix: empty severity list")
+	}
+	return out, nil
+}
+
+// ParseFamilies parses a comma-separated fault-family axis ("kernel,state,
+// sensor,actuator,wind", or "all").
+func ParseFamilies(s string) ([]faultinject.Family, error) {
+	if strings.TrimSpace(s) == "all" {
+		return faultinject.Families(), nil
+	}
+	var out []faultinject.Family
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, ok := faultinject.ParseFamily(part)
+		if !ok || f == faultinject.FamilyNone {
+			return nil, fmt.Errorf("matrix: unknown fault family %q", part)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("matrix: empty family list")
+	}
+	return out, nil
+}
+
+// World builds one of the named standard environments with the same fixed
+// generator seed every CLI uses, so matrix cells, single campaigns, and
+// recordings are all comparable.
+func World(name string) (*env.World, error) {
+	rng := rand.New(rand.NewSource(1))
+	switch name {
+	case "factory":
+		return env.Factory(), nil
+	case "farm":
+		return env.Farm(), nil
+	case "sparse":
+		return env.Sparse(rng), nil
+	case "dense":
+		return env.Dense(rng), nil
+	default:
+		return nil, fmt.Errorf("matrix: unknown env %q", name)
+	}
+}
+
+// Spec describes one campaign matrix. Zero-valued axes fall back to the
+// defaults documented per field.
+type Spec struct {
+	// Worlds are environment names for World (default ["sparse"]).
+	Worlds []string
+	// Families is the fault-family axis (default all five).
+	Families []faultinject.Family
+	// Severities is the severity axis (default DefaultSeverities).
+	Severities []Severity
+	// Detectors are detector names: "none", "gad", "aad" (default ["none"]).
+	Detectors []string
+	// Recoveries is the recovery axis for detector-bearing cells (default
+	// [true]); "none" cells always collapse to a single recovery-less entry.
+	Recoveries []bool
+	// Runs is the number of missions per cell (default 4).
+	Runs int
+	// Seed is the matrix seed every cell and mission seed derives from.
+	Seed int64
+	// MaxMissionS overrides the mission time budget (0 = pipeline default).
+	MaxMissionS float64
+	// TrainEnvs is the training-environment count when a detector axis
+	// includes gad/aad (default 12).
+	TrainEnvs int
+	// Workers sizes the worker pool (0 = campaign.DefaultWorkers).
+	Workers int
+	// Deadline, when positive, bounds each mission's wall-clock time
+	// (campaign.WithMissionDeadline) — robustness at the cost of the
+	// byte-identity invariant.
+	Deadline time.Duration
+	// Progress, when non-nil, receives mission completion counts.
+	Progress func(done, total int)
+}
+
+func (s Spec) normalized() Spec {
+	if len(s.Worlds) == 0 {
+		s.Worlds = []string{"sparse"}
+	}
+	if len(s.Families) == 0 {
+		s.Families = faultinject.Families()
+	}
+	if len(s.Severities) == 0 {
+		s.Severities = DefaultSeverities()
+	}
+	if len(s.Detectors) == 0 {
+		s.Detectors = []string{"none"}
+	}
+	if len(s.Recoveries) == 0 {
+		s.Recoveries = []bool{true}
+	}
+	if s.Runs <= 0 {
+		s.Runs = 4
+	}
+	if s.TrainEnvs <= 0 {
+		s.TrainEnvs = 12
+	}
+	return s
+}
+
+// Cell identifies one matrix cell: the coordinates on every axis plus the
+// derived cell seed.
+type Cell struct {
+	// Index is the cell's position in the fixed enumeration order.
+	Index int
+	// World, Family, Severity, Detector, Recovery are the axis coordinates.
+	World    string
+	Family   faultinject.Family
+	Severity Severity
+	Detector string
+	Recovery bool
+	// Seed is campaign.MissionSeed(matrixSeed, fnv64a(Name())): the root of
+	// the cell's plan RNG and its per-mission seeds, a function of the
+	// cell's identity rather than its position in the enumeration.
+	Seed int64
+}
+
+// Name renders the cell's canonical identifier, also used in CSV filenames.
+func (c Cell) Name() string {
+	rec := "norec"
+	if c.Recovery {
+		rec = "rec"
+	}
+	return fmt.Sprintf("%s-%s-%s-%s-%s", c.World, c.Family, c.Severity.Name, c.Detector, rec)
+}
+
+// CellResult is one cell's aggregate: its campaign plus the fault plans its
+// missions flew (plan j belongs to mission j).
+type CellResult struct {
+	Cell     Cell
+	Campaign *qof.Campaign
+	Plans    []faultinject.FaultPlan
+}
+
+// Result is one completed (or cancelled) matrix run.
+type Result struct {
+	// Spec is the normalized specification the matrix ran under.
+	Spec Spec
+	// Cells holds one entry per cell in enumeration order; on cancellation
+	// trailing cells may hold partial or empty campaigns.
+	Cells []CellResult
+	// Panics lists isolated mission panics (flat mission index i maps to
+	// cell i/Runs, mission i%Runs). Empty on a healthy run.
+	Panics []campaign.MissionPanic
+}
+
+// enumerate builds the fixed cell grid: world-major, then family, severity,
+// detector, and recovery — the enumeration order cell seeds are defined
+// over. Changing this order is a breaking change to every matrix seed.
+func enumerate(spec Spec) []Cell {
+	var cells []Cell
+	for _, w := range spec.Worlds {
+		for _, f := range spec.Families {
+			for _, sev := range spec.Severities {
+				for _, det := range spec.Detectors {
+					recs := spec.Recoveries
+					if det == "none" {
+						// No detector means no recovery axis: one cell.
+						recs = []bool{false}
+					}
+					for _, rec := range recs {
+						c := Cell{
+							Index:    len(cells),
+							World:    w,
+							Family:   f,
+							Severity: sev,
+							Detector: det,
+							Recovery: rec,
+						}
+						h := fnv.New64a()
+						h.Write([]byte(c.Name()))
+						c.Seed = campaign.MissionSeed(spec.Seed, int(h.Sum64()>>1))
+						cells = append(cells, c)
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Run executes the matrix. Cells share one flat hardened worker pool (the
+// pool never idles at cell boundaries), detectors are trained once and
+// cloned per mission, and kernel-family cells calibrate dynamic-value counts
+// with one golden run per world before the sweep starts.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	spec = spec.normalized()
+	cells := enumerate(spec)
+
+	worlds := make(map[string]*env.World, len(spec.Worlds))
+	for _, name := range spec.Worlds {
+		if _, ok := worlds[name]; ok {
+			continue
+		}
+		w, err := World(name)
+		if err != nil {
+			return nil, err
+		}
+		worlds[name] = w
+	}
+
+	needKernel := false
+	for _, f := range spec.Families {
+		needKernel = needKernel || f == faultinject.FamilyKernel
+	}
+	// Per-world calibration (kernel family only) and nominal durations, both
+	// sequential and mission-independent.
+	counters := make(map[string]*faultinject.Counter, len(worlds))
+	nominal := make(map[string]float64, len(worlds))
+	for name, w := range worlds {
+		nominal[name] = pipeline.NominalDuration(pipeline.Config{World: w, MaxMissionS: spec.MaxMissionS})
+		if needKernel {
+			ctr := faultinject.NewCounter()
+			pipeline.RunMission(pipeline.Config{World: w, Seed: spec.Seed + 555, MaxMissionS: spec.MaxMissionS, Counter: ctr})
+			counters[name] = ctr
+		}
+	}
+
+	runner := campaign.New(
+		campaign.WithWorkers(spec.Workers),
+		campaign.WithMissionDeadline(spec.Deadline),
+		campaign.WithProgress(spec.Progress),
+	)
+	factories, err := trainDetectors(ctx, runner, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Draw every cell's fault schedule up front: one plan RNG per cell
+	// (seeded by the cell seed), one DrawFault per mission in mission order.
+	plans := make([][]faultinject.FaultPlan, len(cells))
+	for ci, cell := range cells {
+		planRNG := rand.New(rand.NewSource(cell.Seed))
+		drawSpec := faultinject.NewDrawSpec(nominal[cell.World], cell.Severity.Scale)
+		cellPlans := make([]faultinject.FaultPlan, spec.Runs)
+		for j := range cellPlans {
+			cellPlans[j] = faultinject.DrawFault(cell.Family, drawSpec, counters[cell.World], planRNG)
+		}
+		plans[ci] = cellPlans
+	}
+
+	total := len(cells) * spec.Runs
+	out, runErr := runner.Run(ctx, "matrix", total, func(i int) qof.Metrics {
+		ci, j := i/spec.Runs, i%spec.Runs
+		cell := cells[ci]
+		cfg := pipeline.Config{
+			World:       worlds[cell.World],
+			Seed:        campaign.MissionSeed(cell.Seed, j),
+			MaxMissionS: spec.MaxMissionS,
+		}
+		cfg.SetFault(plans[ci][j])
+		if mk := factories[cell.Detector]; mk != nil {
+			cfg.Detector = mk()
+			cfg.DetectOnly = !cell.Recovery
+		}
+		return pipeline.RunMission(cfg).Metrics
+	})
+
+	res := &Result{Spec: spec, Panics: out.Panics}
+	for ci, cell := range cells {
+		camp := &qof.Campaign{Name: cell.Name()}
+		lo, hi := ci*spec.Runs, (ci+1)*spec.Runs
+		if lo > len(out.Campaign.Results) {
+			lo = len(out.Campaign.Results)
+		}
+		if hi > len(out.Campaign.Results) {
+			hi = len(out.Campaign.Results)
+		}
+		camp.Results = append(camp.Results, out.Campaign.Results[lo:hi]...)
+		res.Cells = append(res.Cells, CellResult{Cell: cell, Campaign: camp, Plans: plans[ci]})
+	}
+	return res, runErr
+}
+
+// trainDetectors builds the detector factories the spec's detector axis
+// needs: nil for "none", clone-per-mission factories for gad/aad trained on
+// one shared corpus (collected deterministically on the matrix pool, with
+// the same seed offsets cmd/mavfi uses).
+func trainDetectors(ctx context.Context, r *campaign.Runner, spec Spec) (map[string]func() detect.Detector, error) {
+	factories := make(map[string]func() detect.Detector, len(spec.Detectors))
+	var data [][detect.NumStates]float64
+	for _, name := range spec.Detectors {
+		if _, ok := factories[name]; ok {
+			continue
+		}
+		switch name {
+		case "none":
+			factories[name] = nil
+		case "gad", "aad":
+			if data == nil {
+				var err error
+				data, err = pipeline.CollectTrainingDataOn(ctx, r, spec.TrainEnvs, spec.Seed+1000, platform.I9())
+				if err != nil {
+					return nil, fmt.Errorf("matrix: collecting training data: %w", err)
+				}
+			}
+			if name == "gad" {
+				gad := pipeline.TrainGAD(data, 4)
+				factories[name] = func() detect.Detector { return gad.Clone() }
+			} else {
+				aad := pipeline.TrainAAD(data, detect.DefaultAADConfig(), spec.Seed+2000)
+				factories[name] = func() detect.Detector { return aad.Clone() }
+			}
+		default:
+			return nil, fmt.Errorf("matrix: unknown detector %q (have none, gad, aad)", name)
+		}
+	}
+	return factories, nil
+}

@@ -1,0 +1,174 @@
+package matrix
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mavfi/internal/faultinject"
+	"mavfi/internal/qof"
+)
+
+func smallSpec(workers int) Spec {
+	return Spec{
+		Worlds:     []string{"sparse"},
+		Families:   []faultinject.Family{faultinject.FamilySensor, faultinject.FamilyWind},
+		Severities: []Severity{{Name: "high", Scale: 1.0}},
+		Runs:       2,
+		Seed:       1,
+		Workers:    workers,
+	}
+}
+
+func TestMatrixByteIdenticalAcrossWorkerWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real missions")
+	}
+	var refCells map[string]string
+	var refSummary string
+	for _, workers := range []int{1, 4} {
+		res, err := Run(context.Background(), smallSpec(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells := make(map[string]string, len(res.Cells))
+		for i := range res.Cells {
+			cr := &res.Cells[i]
+			cells[cr.Cell.Name()] = cr.csv()
+		}
+		summary := res.summaryCSV()
+		if refCells == nil {
+			refCells, refSummary = cells, summary
+			continue
+		}
+		if !reflect.DeepEqual(cells, refCells) {
+			t.Errorf("per-cell CSVs differ between 1 and %d workers", workers)
+		}
+		if summary != refSummary {
+			t.Errorf("summary CSV differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestMatrixCellsSeedStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real missions")
+	}
+	// Dropping a family must not change the plans or results of the cells
+	// that remain: every cell derives its RNG from its own (world, family,
+	// severity, detector, recovery) identity, not from its position.
+	full, err := Run(context.Background(), smallSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	windOnly := smallSpec(2)
+	windOnly.Families = []faultinject.Family{faultinject.FamilyWind}
+	sub, err := Run(context.Background(), windOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]*CellResult)
+	for i := range full.Cells {
+		byName[full.Cells[i].Cell.Name()] = &full.Cells[i]
+	}
+	for i := range sub.Cells {
+		cr := &sub.Cells[i]
+		want, ok := byName[cr.Cell.Name()]
+		if !ok {
+			t.Fatalf("cell %s missing from the full matrix", cr.Cell.Name())
+		}
+		if cr.Cell.Seed != want.Cell.Seed {
+			t.Errorf("cell %s: seed %d in the sub-matrix, %d in the full matrix",
+				cr.Cell.Name(), cr.Cell.Seed, want.Cell.Seed)
+		}
+		if !reflect.DeepEqual(cr.Plans, want.Plans) {
+			t.Errorf("cell %s: plans differ between sub- and full matrix", cr.Cell.Name())
+		}
+		if !reflect.DeepEqual(cr.Campaign.Results, want.Campaign.Results) {
+			t.Errorf("cell %s: results differ between sub- and full matrix", cr.Cell.Name())
+		}
+	}
+}
+
+func TestEnumerateAxesAndCollapse(t *testing.T) {
+	spec := Spec{
+		Worlds:     []string{"sparse", "factory"},
+		Families:   []faultinject.Family{faultinject.FamilySensor},
+		Severities: []Severity{{Name: "low", Scale: 0.35}},
+		Detectors:  []string{"none", "gad"},
+		Recoveries: []bool{true, false},
+		Runs:       1,
+		Seed:       7,
+	}.normalized()
+	cells := enumerate(spec)
+	// none collapses its recovery axis: 2 worlds × (1 + 2) = 6 cells.
+	if len(cells) != 6 {
+		t.Fatalf("%d cells, want 6", len(cells))
+	}
+	names := make(map[string]bool)
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+		if names[c.Name()] {
+			t.Errorf("duplicate cell name %s", c.Name())
+		}
+		names[c.Name()] = true
+		if c.Detector == "none" && c.Recovery {
+			t.Errorf("unprotected cell %s claims recovery", c.Name())
+		}
+	}
+}
+
+func TestParseSeverities(t *testing.T) {
+	got, err := ParseSeverities("low,high")
+	if err != nil || len(got) != 2 || got[0].Name != "low" || got[1].Scale != 1.0 {
+		t.Errorf("ParseSeverities(low,high) = %+v, %v", got, err)
+	}
+	got, err = ParseSeverities("extreme=1.5")
+	if err != nil || got[0].Name != "extreme" || got[0].Scale != 1.5 {
+		t.Errorf("ParseSeverities(extreme=1.5) = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"", "bogus", "x=-1", "x=nope"} {
+		if _, err := ParseSeverities(bad); err == nil {
+			t.Errorf("ParseSeverities(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseFamilies(t *testing.T) {
+	all, err := ParseFamilies("all")
+	if err != nil || len(all) != 5 {
+		t.Errorf("ParseFamilies(all) = %v, %v", all, err)
+	}
+	two, err := ParseFamilies("sensor,wind")
+	if err != nil || len(two) != 2 || two[0] != faultinject.FamilySensor {
+		t.Errorf("ParseFamilies(sensor,wind) = %v, %v", two, err)
+	}
+	for _, bad := range []string{"", "none", "bogus"} {
+		if _, err := ParseFamilies(bad); err == nil {
+			t.Errorf("ParseFamilies(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSummaryCSVCountsDegradedOutcomes(t *testing.T) {
+	cell := Cell{Index: 0, World: "sparse", Family: faultinject.FamilyWind,
+		Severity: Severity{Name: "high", Scale: 1}, Detector: "none"}
+	camp := &qof.Campaign{Name: cell.Name()}
+	camp.Add(qof.Metrics{Outcome: qof.Success, FlightTimeS: 10})
+	camp.Add(qof.Metrics{Outcome: qof.Panicked})
+	camp.Add(qof.Metrics{Outcome: qof.DeadlineExceeded})
+	res := &Result{
+		Spec:  Spec{Worlds: []string{"sparse"}}.normalized(),
+		Cells: []CellResult{{Cell: cell, Campaign: camp}},
+	}
+	sum := res.summaryCSV()
+	if !strings.Contains(sum, ",1,1,") { // panic=1, deadline=1 columns
+		t.Errorf("summary missing panic/deadline counts:\n%s", sum)
+	}
+	if camp.CountOutcome(qof.Panicked) != 1 || camp.CountOutcome(qof.DeadlineExceeded) != 1 {
+		t.Error("CountOutcome miscounts degraded outcomes")
+	}
+}

@@ -1,0 +1,159 @@
+package matrix
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"mavfi/internal/campaign"
+	"mavfi/internal/qof"
+)
+
+// fm renders a float in the shortest round-trip form — a deterministic,
+// locale-free encoding, so CSV bytes are a pure function of the results.
+func fm(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV renders the matrix under dir (created if missing): one
+// per-mission CSV per cell, named after Cell.Name with the cell index as a
+// stable prefix, plus an aggregate summary.csv. All files are deterministic
+// byte-for-byte for a given Result — the artifact `make matrix-smoke` diffs
+// across worker widths.
+func (r *Result) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, cr := range r.Cells {
+		path := filepath.Join(dir, fmt.Sprintf("cell-%03d-%s.csv", cr.Cell.Index, cr.Cell.Name()))
+		if err := os.WriteFile(path, []byte(cr.csv()), 0o644); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "summary.csv"), []byte(r.summaryCSV()), 0o644)
+}
+
+// csv renders the cell's per-mission rows.
+func (cr *CellResult) csv() string {
+	var b strings.Builder
+	b.WriteString("mission,seed,outcome,flight_s,energy_j,distance_m,compute_s,detect_s,alarms,recomputes,injected_at_s,first_alarm_s,fault\n")
+	for j, m := range cr.Campaign.Results {
+		var plan string
+		if j < len(cr.Plans) {
+			plan = cr.Plans[j].String()
+		}
+		fmt.Fprintf(&b, "%d,%d,%s,%s,%s,%s,%s,%s,%d,%d,%s,%s,%s\n",
+			j, missionSeed(cr.Cell, j), m.Outcome,
+			fm(m.FlightTimeS), fm(m.EnergyJ), fm(m.DistanceM),
+			fm(m.ComputeS), fm(m.DetectS),
+			m.Alarms, m.Recomputes,
+			fm(m.InjectedAtS), fm(m.FirstAlarmS), plan)
+	}
+	return b.String()
+}
+
+// summaryCSV renders the per-cell aggregate table.
+func (r *Result) summaryCSV() string {
+	var b strings.Builder
+	b.WriteString("cell,world,family,severity,detector,recovery,runs,success_rate,crash,timeout,battery,panic,deadline,fired,mean_flight_s,mean_alarms,mean_detect_latency_s\n")
+	for _, cr := range r.Cells {
+		c, camp := cr.Cell, cr.Campaign
+		fired, alarms := 0, 0
+		for _, m := range camp.Results {
+			if m.InjectedAtS > 0 {
+				fired++
+			}
+			alarms += m.Alarms
+		}
+		meanAlarms := 0.0
+		if camp.N() > 0 {
+			meanAlarms = float64(alarms) / float64(camp.N())
+		}
+		lat, hasLat := camp.MeanDetectionLatencyS()
+		latS := ""
+		if hasLat {
+			latS = fm(lat)
+		}
+		fmt.Fprintf(&b, "%d,%s,%s,%s,%s,%v,%d,%s,%d,%d,%d,%d,%d,%d,%s,%s,%s\n",
+			c.Index, c.World, c.Family, c.Severity.Name, c.Detector, c.Recovery,
+			camp.N(), fm(camp.SuccessRate()),
+			camp.CountOutcome(qof.Crash), camp.CountOutcome(qof.Timeout),
+			camp.CountOutcome(qof.BatteryOut), camp.CountOutcome(qof.Panicked),
+			camp.CountOutcome(qof.DeadlineExceeded), fired,
+			fm(camp.FlightTimeSummary().Mean), fm(meanAlarms), latS)
+	}
+	return b.String()
+}
+
+// missionSeed recomputes mission j's pipeline seed (also derived in Run);
+// exposed in the CSV so any mission can be re-flown standalone.
+func missionSeed(c Cell, j int) int64 {
+	return campaign.MissionSeed(c.Seed, j)
+}
+
+// Table renders the Table-I-style aggregate: one success-rate grid
+// (world × family) per (severity, detector, recovery) combination, plus
+// detection-latency and degraded-outcome footnotes where applicable.
+func (r *Result) Table() string {
+	byKey := make(map[string]*CellResult, len(r.Cells))
+	for i := range r.Cells {
+		cr := &r.Cells[i]
+		byKey[cr.Cell.Name()] = cr
+	}
+
+	var b strings.Builder
+	spec := r.Spec
+	for _, sev := range spec.Severities {
+		for _, det := range spec.Detectors {
+			recs := spec.Recoveries
+			if det == "none" {
+				recs = []bool{false}
+			}
+			for _, rec := range recs {
+				mode := "recovery on"
+				if !rec {
+					mode = "detect only"
+				}
+				if det == "none" {
+					mode = "unprotected"
+				}
+				fmt.Fprintf(&b, "severity=%s detector=%s (%s) — success rate\n", sev.Name, det, mode)
+				fmt.Fprintf(&b, "%-10s", "world")
+				for _, f := range spec.Families {
+					fmt.Fprintf(&b, "%10s", f)
+				}
+				b.WriteString("\n")
+				for _, w := range spec.Worlds {
+					fmt.Fprintf(&b, "%-10s", w)
+					for _, f := range spec.Families {
+						key := Cell{World: w, Family: f, Severity: sev, Detector: det, Recovery: rec}.Name()
+						if cr, ok := byKey[key]; ok && cr.Campaign.N() > 0 {
+							fmt.Fprintf(&b, "%9.1f%%", cr.Campaign.SuccessRate()*100)
+						} else {
+							fmt.Fprintf(&b, "%10s", "-")
+						}
+					}
+					b.WriteString("\n")
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+
+	// Footnotes: detection latency (detector cells) and degraded outcomes.
+	panics, deadlines := 0, 0
+	for _, cr := range r.Cells {
+		panics += cr.Campaign.CountOutcome(qof.Panicked)
+		deadlines += cr.Campaign.CountOutcome(qof.DeadlineExceeded)
+		if cr.Cell.Detector == "none" {
+			continue
+		}
+		if lat, ok := cr.Campaign.MeanDetectionLatencyS(); ok {
+			fmt.Fprintf(&b, "detection latency %-40s %.2fs\n", cr.Cell.Name(), lat)
+		}
+	}
+	if panics > 0 || deadlines > 0 {
+		fmt.Fprintf(&b, "degraded: %d panicked, %d deadline-exceeded missions (see CSV)\n", panics, deadlines)
+	}
+	return b.String()
+}

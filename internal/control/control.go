@@ -64,6 +64,13 @@ type Tracker struct {
 	// MaxSpeed clamps commanded velocity.
 	MaxSpeed float64
 
+	// Degrade, when non-nil, transforms the finished velocity command just
+	// before it is issued — the actuator-degradation injection point
+	// (faultinject.ActuatorInjector.Degrade). It models the actuator, not
+	// the kernel: it runs after the clamp, outside the PID loop, and its
+	// output is what actually flies. nil leaves command issue untouched.
+	Degrade func(geom.Vec3) geom.Vec3
+
 	pidX, pidY, pidZ PID
 
 	traj    *planning.Trajectory
@@ -168,6 +175,9 @@ func (t *Tracker) TrackTo(target planning.Waypoint, pos geom.Vec3, dt float64, c
 		cmd = geom.Vec3{}
 	}
 	cmd = cmd.ClampLen(t.MaxSpeed)
+	if t.Degrade != nil {
+		cmd = t.Degrade(cmd)
+	}
 	yaw = target.Yaw
 	if math.IsNaN(yaw) || math.IsInf(yaw, 0) {
 		yaw = 0

@@ -9,6 +9,36 @@
 // Faults in memory/caches are out of scope (ECC-protected on the TX2/Xavier
 // class hardware the paper targets), as are control-logic faults; this
 // matches the paper's fault model section.
+//
+// Beyond the paper's compute faults, the package hosts the fault-model zoo
+// (zoo.go): sensor faults, actuator degradation, and wind disturbance, all
+// unified behind FaultPlan/DrawFault so campaigns sweep families through one
+// abstraction.
+//
+// # Plan-drawing RNG contract
+//
+// Campaign layers draw the whole injection schedule up front from a single
+// sequential plan RNG (cmd/mavfi seeds it with campaignSeed+42; the matrix
+// runner with the cell seed), one plan per mission in mission order. The
+// number and order of RNG draws per plan is therefore API: changing either
+// reshuffles every later mission's fault under an unchanged seed and breaks
+// recorded campaigns and golden fault digests. The contract:
+//
+//   - NewPlan: 2 draws — dynamic-value index (Int63n), bit (Intn 64).
+//   - NewStatePlan: 2 draws — injection time (Float64), bit (Intn 64).
+//   - NewSensorPlan: 6 draws — onset, duration, severity jitter, direction
+//     azimuth, direction z (Float64 each), noise seed (Int63).
+//   - NewActuatorPlan: 3 draws — onset, duration, severity jitter.
+//   - NewWindPlan: 4 draws — onset, duration, severity jitter, azimuth.
+//   - DrawFault: exactly 1 kind/target draw (Intn) before the family's
+//     New*Plan draws — consumed even when DrawSpec fixes the kind, so
+//     restricting a sweep to one mechanism never shifts the schedule.
+//     FamilyWind has no kinds and adds no draw. Severity steers magnitudes
+//     and the kernel bit field after drawing, never the draw count.
+//
+// New families must follow the same rules: draw counts independent of drawn
+// values and of any spec restriction, appended to the end of their own
+// New*Plan sequence only.
 package faultinject
 
 import (

@@ -1,0 +1,608 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"mavfi/internal/geom"
+)
+
+// Family names a fault-model family of the zoo. The first two are the
+// paper's compute-fault models (instruction-level kernel SDCs and
+// message-level state corruption); the remaining three extend the framework
+// toward the related work's physical fault taxonomies: sensor faults
+// (compromised-IMU class, Tu et al.), actuator degradation (ALFA
+// control-surface class), and environment disturbance.
+type Family int
+
+const (
+	// FamilyNone disables injection.
+	FamilyNone Family = iota
+	// FamilyKernel is instruction-level kernel injection (Plan).
+	FamilyKernel
+	// FamilyState is message-level inter-kernel-state corruption (StatePlan).
+	FamilyState
+	// FamilySensor is sensor-fault injection (SensorPlan): position-estimate
+	// bias/drift/stuck-at and depth-camera ray dropout / noise bursts.
+	FamilySensor
+	// FamilyActuator is actuator degradation (ActuatorPlan): thrust loss and
+	// command scaling applied at the tracker's command output.
+	FamilyActuator
+	// FamilyWind is environment disturbance (WindPlan): a deterministic
+	// wind-gust velocity offset.
+	FamilyWind
+
+	numFamilies
+)
+
+// String implements fmt.Stringer.
+func (f Family) String() string {
+	switch f {
+	case FamilyNone:
+		return "none"
+	case FamilyKernel:
+		return "kernel"
+	case FamilyState:
+		return "state"
+	case FamilySensor:
+		return "sensor"
+	case FamilyActuator:
+		return "actuator"
+	case FamilyWind:
+		return "wind"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// ParseFamily resolves a family name as printed by Family.String.
+func ParseFamily(s string) (Family, bool) {
+	for f := FamilyNone; f < numFamilies; f++ {
+		if f.String() == s {
+			return f, true
+		}
+	}
+	return FamilyNone, false
+}
+
+// Families lists the injectable families in their canonical (matrix-axis)
+// order.
+func Families() []Family {
+	return []Family{FamilyKernel, FamilyState, FamilySensor, FamilyActuator, FamilyWind}
+}
+
+// SensorFaultKind selects the sensor-fault mechanism of a SensorPlan.
+type SensorFaultKind int
+
+const (
+	// SensorPosBias offsets the fused position estimate by a constant
+	// vector while the fault window is active.
+	SensorPosBias SensorFaultKind = iota
+	// SensorPosDrift accumulates position-estimate error linearly in time
+	// (gyro/accelerometer drift integrated by sensor fusion).
+	SensorPosDrift
+	// SensorPosStuck freezes the position estimate at its value on fault
+	// onset (stuck-at sensor).
+	SensorPosStuck
+	// SensorRayDropout invalidates a random fraction of depth-camera rays
+	// per frame (the pipeline discards them like too-close returns).
+	SensorRayDropout
+	// SensorNoiseBurst multiplies depth returns with heavy multiplicative
+	// noise while the window is active.
+	SensorNoiseBurst
+
+	// NumSensorFaultKinds counts the kinds above (uniform drawing).
+	NumSensorFaultKinds
+)
+
+// String implements fmt.Stringer.
+func (k SensorFaultKind) String() string {
+	switch k {
+	case SensorPosBias:
+		return "pos_bias"
+	case SensorPosDrift:
+		return "pos_drift"
+	case SensorPosStuck:
+		return "pos_stuck"
+	case SensorRayDropout:
+		return "ray_dropout"
+	case SensorNoiseBurst:
+		return "noise_burst"
+	default:
+		return fmt.Sprintf("sensor_kind(%d)", int(k))
+	}
+}
+
+// ActuatorFaultKind selects the degradation mechanism of an ActuatorPlan.
+type ActuatorFaultKind int
+
+const (
+	// ActuatorThrustLoss attenuates vertical authority and adds a downward
+	// pull (partial rotor/thrust loss).
+	ActuatorThrustLoss ActuatorFaultKind = iota
+	// ActuatorCmdScale attenuates the whole commanded velocity vector
+	// (degraded control effectiveness).
+	ActuatorCmdScale
+
+	// NumActuatorFaultKinds counts the kinds above (uniform drawing).
+	NumActuatorFaultKinds
+)
+
+// String implements fmt.Stringer.
+func (k ActuatorFaultKind) String() string {
+	switch k {
+	case ActuatorThrustLoss:
+		return "thrust_loss"
+	case ActuatorCmdScale:
+		return "cmd_scale"
+	default:
+		return fmt.Sprintf("actuator_kind(%d)", int(k))
+	}
+}
+
+// SensorPlan is one mission's sensor-fault plan: one mechanism active over
+// one onset window at one severity. Plans are drawn once per mission (see
+// NewSensorPlan) and fully determine the fault: the injector's own noise
+// stream derives from Seed, never from the mission RNGs.
+type SensorPlan struct {
+	Kind      SensorFaultKind `json:"kind"`
+	OnsetS    float64         `json:"onset_s"`
+	DurationS float64         `json:"duration_s"`
+	// Severity scales the fault magnitude; the nominal range is (0, 1.25]
+	// (a base level times the drawn jitter).
+	Severity float64 `json:"severity"`
+	// Dir is the unit direction of directional mechanisms (bias, drift).
+	Dir geom.Vec3 `json:"dir"`
+	// Seed seeds the injector's private noise stream (dropout, bursts).
+	Seed int64 `json:"seed"`
+}
+
+// NewSensorPlan draws a sensor-fault plan with onset uniform in [tMin, tMax]
+// and magnitude severity×U[0.75, 1.25]. Draw order (see the package comment's
+// RNG contract): onset, duration, severity jitter, direction azimuth,
+// direction z, noise seed — six draws regardless of kind.
+func NewSensorPlan(kind SensorFaultKind, tMin, tMax, severity float64, rng *rand.Rand) SensorPlan {
+	p := SensorPlan{Kind: kind}
+	p.OnsetS = tMin + rng.Float64()*(tMax-tMin)
+	p.DurationS = 3 + rng.Float64()*9
+	p.Severity = severity * (0.75 + rng.Float64()*0.5)
+	az := rng.Float64() * 2 * math.Pi
+	dz := rng.Float64()*0.5 - 0.25
+	p.Dir = geom.V(math.Cos(az), math.Sin(az), dz).Normalize()
+	p.Seed = rng.Int63()
+	return p
+}
+
+// ActuatorPlan is one mission's actuator-degradation plan.
+type ActuatorPlan struct {
+	Kind      ActuatorFaultKind `json:"kind"`
+	OnsetS    float64           `json:"onset_s"`
+	DurationS float64           `json:"duration_s"`
+	// Severity in [0, 0.95] is the degradation fraction (1 would be total
+	// loss of authority; the cap keeps missions numerically live).
+	Severity float64 `json:"severity"`
+}
+
+// NewActuatorPlan draws an actuator plan with onset uniform in [tMin, tMax].
+// Draw order: onset, duration, severity jitter — three draws regardless of
+// kind.
+func NewActuatorPlan(kind ActuatorFaultKind, tMin, tMax, severity float64, rng *rand.Rand) ActuatorPlan {
+	p := ActuatorPlan{Kind: kind}
+	p.OnsetS = tMin + rng.Float64()*(tMax-tMin)
+	p.DurationS = 4 + rng.Float64()*8
+	p.Severity = math.Min(0.95, severity*(0.75+rng.Float64()*0.5))
+	return p
+}
+
+// WindPlan is one mission's environment-disturbance plan: a gust that ramps
+// in and out over a half-sine envelope.
+type WindPlan struct {
+	OnsetS    float64 `json:"onset_s"`
+	DurationS float64 `json:"duration_s"`
+	// Severity scales the peak gust speed (severity 1 ≈ 3.5 m/s peak —
+	// comparable to the cruise speed, enough to push the vehicle off its
+	// trajectory but recoverable).
+	Severity float64 `json:"severity"`
+	// Dir is the unit gust direction (horizontal-dominant).
+	Dir geom.Vec3 `json:"dir"`
+}
+
+// NewWindPlan draws a wind plan with onset uniform in [tMin, tMax]. Draw
+// order: onset, duration, severity jitter, direction azimuth — four draws.
+func NewWindPlan(tMin, tMax, severity float64, rng *rand.Rand) WindPlan {
+	p := WindPlan{}
+	p.OnsetS = tMin + rng.Float64()*(tMax-tMin)
+	p.DurationS = 3 + rng.Float64()*6
+	p.Severity = severity * (0.75 + rng.Float64()*0.5)
+	az := rng.Float64() * 2 * math.Pi
+	p.Dir = geom.V(math.Cos(az), math.Sin(az), -0.1).Normalize()
+	return p
+}
+
+// FaultPlan is the unified plan type of the zoo: exactly one pointer is
+// non-nil (or none, for a nominal mission). It is the value campaign layers
+// draw, serialize, and hand to pipeline.Config.SetFault.
+type FaultPlan struct {
+	Kernel   *Plan         `json:"kernel,omitempty"`
+	State    *StatePlan    `json:"state,omitempty"`
+	Sensor   *SensorPlan   `json:"sensor,omitempty"`
+	Actuator *ActuatorPlan `json:"actuator,omitempty"`
+	Wind     *WindPlan     `json:"wind,omitempty"`
+}
+
+// Family reports which family the plan selects (FamilyNone when empty).
+func (p FaultPlan) Family() Family {
+	switch {
+	case p.Kernel != nil:
+		return FamilyKernel
+	case p.State != nil:
+		return FamilyState
+	case p.Sensor != nil:
+		return FamilySensor
+	case p.Actuator != nil:
+		return FamilyActuator
+	case p.Wind != nil:
+		return FamilyWind
+	default:
+		return FamilyNone
+	}
+}
+
+// String renders the plan compactly for logs and tables.
+func (p FaultPlan) String() string {
+	switch {
+	case p.Kernel != nil:
+		return fmt.Sprintf("kernel %s idx=%d bit=%d", p.Kernel.Kernel, p.Kernel.Index, p.Kernel.Bit)
+	case p.State != nil:
+		return fmt.Sprintf("state %s t=%.2f bit=%d", p.State.State, p.State.Time, p.State.Bit)
+	case p.Sensor != nil:
+		return fmt.Sprintf("sensor %s t=%.2f+%.2f sev=%.2f", p.Sensor.Kind, p.Sensor.OnsetS, p.Sensor.DurationS, p.Sensor.Severity)
+	case p.Actuator != nil:
+		return fmt.Sprintf("actuator %s t=%.2f+%.2f sev=%.2f", p.Actuator.Kind, p.Actuator.OnsetS, p.Actuator.DurationS, p.Actuator.Severity)
+	case p.Wind != nil:
+		return fmt.Sprintf("wind t=%.2f+%.2f sev=%.2f", p.Wind.OnsetS, p.Wind.DurationS, p.Wind.Severity)
+	default:
+		return "none"
+	}
+}
+
+// DrawSpec parameterizes DrawFault. Use NewDrawSpec for the open (uniform
+// over each family's kinds) spec; fix a field to restrict the draw.
+type DrawSpec struct {
+	// NominalS is the error-free mission duration; onsets are drawn inside
+	// it so the fault lands mid-flight.
+	NominalS float64
+	// Severity scales window-fault magnitudes and biases kernel bit
+	// positions (≥ 0.75 draws exponent/sign bits, < 0.4 mantissa-only);
+	// zero means the default severity 1.
+	Severity float64
+
+	// Kernel fixes the kernel target (KernelNone = uniform over kernels).
+	Kernel Kernel
+	// State fixes the state target (negative = uniform over injectable
+	// states).
+	State StateID
+	// SensorKind fixes the sensor mechanism (negative = uniform).
+	SensorKind SensorFaultKind
+	// ActuatorKind fixes the actuator mechanism (negative = uniform).
+	ActuatorKind ActuatorFaultKind
+}
+
+// NewDrawSpec returns the open spec for a mission of the given nominal
+// duration at the given severity: every family draws its kind uniformly.
+func NewDrawSpec(nominalS, severity float64) DrawSpec {
+	return DrawSpec{
+		NominalS:     nominalS,
+		Severity:     severity,
+		Kernel:       KernelNone,
+		State:        -1,
+		SensorKind:   -1,
+		ActuatorKind: -1,
+	}
+}
+
+// DrawFault draws one mission's plan for family f. The draw sequence is part
+// of the package's RNG contract (see the package comment): for every family
+// the kind/target draw is consumed first — even when the spec fixes it — so
+// restricting a sweep to one mechanism never reshuffles the remaining
+// parameters of the schedule.
+//
+// counts supplies kernel dynamic-value counts for FamilyKernel (from a
+// calibration run); a nil counts falls back to count 1, which only makes
+// sense in tests.
+func DrawFault(f Family, spec DrawSpec, counts *Counter, rng *rand.Rand) FaultPlan {
+	if spec.Severity <= 0 {
+		spec.Severity = 1
+	}
+	tMin, tMax := 0.15*spec.NominalS, 0.70*spec.NominalS
+	switch f {
+	case FamilyKernel:
+		k := Kernel(1 + rng.Intn(kernelCount-1))
+		if spec.Kernel != KernelNone {
+			k = spec.Kernel
+		}
+		var count int64 = 1
+		if counts != nil {
+			count = counts.Count(k)
+		}
+		pl := NewPlan(k, count, rng)
+		// Severity steers the bit field after the uniform draw (the draw
+		// count stays fixed): high severity forces exponent/sign flips,
+		// low severity mantissa flips.
+		if spec.Severity >= 0.75 {
+			pl.Bit = 52 + pl.Bit%12
+		} else if spec.Severity < 0.4 {
+			pl.Bit = pl.Bit % 52
+		}
+		return FaultPlan{Kernel: &pl}
+	case FamilyState:
+		s := StateID(rng.Intn(int(NumInjectableStates)))
+		if spec.State >= 0 {
+			s = spec.State
+		}
+		pl := NewStatePlan(s, 0.15*spec.NominalS, 0.85*spec.NominalS, rng)
+		return FaultPlan{State: &pl}
+	case FamilySensor:
+		kind := SensorFaultKind(rng.Intn(int(NumSensorFaultKinds)))
+		if spec.SensorKind >= 0 {
+			kind = spec.SensorKind
+		}
+		pl := NewSensorPlan(kind, tMin, tMax, spec.Severity, rng)
+		return FaultPlan{Sensor: &pl}
+	case FamilyActuator:
+		kind := ActuatorFaultKind(rng.Intn(int(NumActuatorFaultKinds)))
+		if spec.ActuatorKind >= 0 {
+			kind = spec.ActuatorKind
+		}
+		pl := NewActuatorPlan(kind, tMin, tMax, spec.Severity, rng)
+		return FaultPlan{Actuator: &pl}
+	case FamilyWind:
+		pl := NewWindPlan(tMin, tMax, spec.Severity, rng)
+		return FaultPlan{Wind: &pl}
+	default:
+		return FaultPlan{}
+	}
+}
+
+// ParseTarget parses a fault-target string "family[:kind]" — e.g. "wind",
+// "sensor:ray_dropout", "actuator:thrust_loss", "kernel:planner",
+// "state:wp_x" — into the family and a DrawSpec with the kind restriction
+// applied (NominalS and Severity are left for the caller to fill).
+func ParseTarget(s string) (Family, DrawSpec, error) {
+	spec := NewDrawSpec(0, 0)
+	name, kind, hasKind := strings.Cut(s, ":")
+	f, ok := ParseFamily(name)
+	if !ok || f == FamilyNone {
+		return FamilyNone, spec, fmt.Errorf("faultinject: unknown fault family %q", name)
+	}
+	if !hasKind {
+		return f, spec, nil
+	}
+	switch f {
+	case FamilyKernel:
+		for k := KernelPCGen; k <= KernelPID; k++ {
+			if kernelFlagName(k) == kind {
+				spec.Kernel = k
+				return f, spec, nil
+			}
+		}
+	case FamilyState:
+		for st := StateID(0); st < NumInjectableStates; st++ {
+			if st.String() == kind {
+				spec.State = st
+				return f, spec, nil
+			}
+		}
+	case FamilySensor:
+		for k := SensorFaultKind(0); k < NumSensorFaultKinds; k++ {
+			if k.String() == kind {
+				spec.SensorKind = k
+				return f, spec, nil
+			}
+		}
+	case FamilyActuator:
+		for k := ActuatorFaultKind(0); k < NumActuatorFaultKinds; k++ {
+			if k.String() == kind {
+				spec.ActuatorKind = k
+				return f, spec, nil
+			}
+		}
+	case FamilyWind:
+		return FamilyNone, spec, fmt.Errorf("faultinject: family wind has no kinds (got %q)", kind)
+	}
+	return FamilyNone, spec, fmt.Errorf("faultinject: unknown %s kind %q", f, kind)
+}
+
+// kernelFlagName is the CLI spelling of a kernel target (the Stringer forms
+// are display names like "P.C. Gen.").
+func kernelFlagName(k Kernel) string {
+	switch k {
+	case KernelPCGen:
+		return "pcgen"
+	case KernelOctoMap:
+		return "octomap"
+	case KernelColCheck:
+		return "colcheck"
+	case KernelPlanner:
+		return "planner"
+	case KernelPID:
+		return "pid"
+	default:
+		return "none"
+	}
+}
+
+// windowInjector is the shared onset-window state machine of the three
+// window-based injectors.
+type windowInjector struct {
+	onset, until float64
+	now          float64
+	fired        bool
+	firedAt      float64
+}
+
+func (w *windowInjector) init(onset, duration float64) {
+	w.onset, w.until = onset, onset+duration
+}
+
+// SetTime advances the injector's view of mission time; the pipeline calls
+// it once per tick. Entering the window latches Fired/FiredAt.
+func (w *windowInjector) SetTime(t float64) {
+	w.now = t
+	if !w.fired && t >= w.onset && t < w.until {
+		w.fired = true
+		w.firedAt = t
+	}
+}
+
+// Active reports whether the fault window covers the current time.
+func (w *windowInjector) Active() bool { return w.now >= w.onset && w.now < w.until }
+
+// Fired reports whether the fault window has (ever) been entered.
+func (w *windowInjector) Fired() bool { return w.fired }
+
+// FiredAt returns the mission time of window entry (0 before Fired).
+func (w *windowInjector) FiredAt() float64 { return w.firedAt }
+
+// SensorInjector executes a SensorPlan during one mission. All of its
+// randomness (dropout, noise) comes from the plan's private Seed, so sensor
+// faults never perturb the mission RNG streams — a faulted mission replays
+// bit-identically from its recorded plan.
+type SensorInjector struct {
+	windowInjector
+	plan SensorPlan
+	rng  *rand.Rand
+
+	stuckSet bool
+	stuckPos geom.Vec3
+}
+
+// NewSensorInjector creates an injector for plan.
+func NewSensorInjector(plan SensorPlan) *SensorInjector {
+	in := &SensorInjector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+	in.init(plan.OnsetS, plan.DurationS)
+	return in
+}
+
+// Plan returns the injector's plan.
+func (in *SensorInjector) Plan() SensorPlan { return in.plan }
+
+// CorruptPos passes the fused position estimate through the fault: biased,
+// drifting, or frozen while the window is active, clean outside it.
+func (in *SensorInjector) CorruptPos(p geom.Vec3) geom.Vec3 {
+	if !in.Active() {
+		in.stuckSet = false
+		return p
+	}
+	switch in.plan.Kind {
+	case SensorPosBias:
+		return p.Add(in.plan.Dir.Scale(1.5 * in.plan.Severity))
+	case SensorPosDrift:
+		return p.Add(in.plan.Dir.Scale(0.4 * in.plan.Severity * (in.now - in.plan.OnsetS)))
+	case SensorPosStuck:
+		if !in.stuckSet {
+			in.stuckSet = true
+			in.stuckPos = p
+		}
+		return in.stuckPos
+	default:
+		return p
+	}
+}
+
+// CorruptDepths passes a captured depth frame through the fault in place.
+// Dropped rays are set to 0, below any sane pointcloud.Generator.MinDepth,
+// so downstream kernels discard them exactly like too-close returns; noise
+// bursts perturb only actual returns (readings below maxRange), like the
+// camera's own noise model.
+func (in *SensorInjector) CorruptDepths(depth []float64, maxRange float64) {
+	if !in.Active() {
+		return
+	}
+	switch in.plan.Kind {
+	case SensorRayDropout:
+		p := math.Min(0.9, 0.6*in.plan.Severity)
+		for i := range depth {
+			if in.rng.Float64() < p {
+				depth[i] = 0
+			}
+		}
+	case SensorNoiseBurst:
+		sigma := 0.25 * in.plan.Severity
+		for i := range depth {
+			if depth[i] < maxRange {
+				d := depth[i] * (1 + in.rng.NormFloat64()*sigma)
+				if d < 0 {
+					d = 0
+				} else if d > maxRange {
+					d = maxRange
+				}
+				depth[i] = d
+			}
+		}
+	}
+}
+
+// ActuatorInjector executes an ActuatorPlan: a pure function of the
+// commanded velocity while the window is active, installed as
+// control.Tracker.Degrade.
+type ActuatorInjector struct {
+	windowInjector
+	plan ActuatorPlan
+}
+
+// NewActuatorInjector creates an injector for plan.
+func NewActuatorInjector(plan ActuatorPlan) *ActuatorInjector {
+	in := &ActuatorInjector{plan: plan}
+	in.init(plan.OnsetS, plan.DurationS)
+	return in
+}
+
+// Plan returns the injector's plan.
+func (in *ActuatorInjector) Plan() ActuatorPlan { return in.plan }
+
+// Degrade applies the degradation to one commanded velocity.
+func (in *ActuatorInjector) Degrade(v geom.Vec3) geom.Vec3 {
+	if !in.Active() {
+		return v
+	}
+	s := in.plan.Severity
+	switch in.plan.Kind {
+	case ActuatorThrustLoss:
+		v.Z = v.Z*(1-s) - 0.6*s
+		return v
+	case ActuatorCmdScale:
+		return v.Scale(1 - 0.7*s)
+	default:
+		return v
+	}
+}
+
+// WindInjector executes a WindPlan: a deterministic gust velocity offset
+// added to the mission's ambient wind.
+type WindInjector struct {
+	windowInjector
+	plan WindPlan
+}
+
+// NewWindInjector creates an injector for plan.
+func NewWindInjector(plan WindPlan) *WindInjector {
+	in := &WindInjector{plan: plan}
+	in.init(plan.OnsetS, plan.DurationS)
+	return in
+}
+
+// Plan returns the injector's plan.
+func (in *WindInjector) Plan() WindPlan { return in.plan }
+
+// Offset returns the gust velocity at mission time t: a half-sine envelope
+// over the fault window, zero outside it.
+func (in *WindInjector) Offset(t float64) geom.Vec3 {
+	if t < in.plan.OnsetS || t >= in.plan.OnsetS+in.plan.DurationS || in.plan.DurationS <= 0 {
+		return geom.Vec3{}
+	}
+	envelope := math.Sin(math.Pi * (t - in.plan.OnsetS) / in.plan.DurationS)
+	return in.plan.Dir.Scale(3.5 * in.plan.Severity * envelope)
+}

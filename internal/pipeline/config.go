@@ -77,6 +77,16 @@ type Config struct {
 	// StateFault, when non-nil, is the message-level inter-kernel-state
 	// injection plan (Fig. 4 mode).
 	StateFault *faultinject.StatePlan
+	// SensorFault, when non-nil, is the sensor-fault plan: position-estimate
+	// bias/drift/stuck-at applied to the IMU fusion output, or depth-camera
+	// ray dropout / noise bursts applied to the captured frame.
+	SensorFault *faultinject.SensorPlan
+	// ActuatorFault, when non-nil, is the actuator-degradation plan applied
+	// to the tracker's command output (control.Tracker.Degrade).
+	ActuatorFault *faultinject.ActuatorPlan
+	// WindFault, when non-nil, adds a deterministic gust velocity offset to
+	// the mission's ambient wind over the plan's window.
+	WindFault *faultinject.WindPlan
 	// Counter, when non-nil, switches the mission into calibration mode:
 	// no faults fire, and every kernel's dynamic value count is recorded
 	// into the counter for uniform Plan drawing.
@@ -85,6 +95,11 @@ type Config struct {
 	// Detector, when non-nil, enables the anomaly detection & recovery
 	// node with the given (pre-trained) scheme.
 	Detector detect.Detector
+	// DetectOnly keeps the detector observing (alarms still count toward
+	// Metrics.Alarms and FirstAlarmS) but suppresses recovery actions — the
+	// campaign matrix's recovery-off axis, isolating detection coverage
+	// from recovery efficacy.
+	DetectOnly bool
 
 	// Record enables trajectory recording into Result.Trace.
 	Record bool
@@ -98,6 +113,37 @@ type Config struct {
 	// never perturbs the flight: recording is passive, so a mission runs
 	// bit-identically with or without a sink attached.
 	Sink trace.Sink
+}
+
+// SetFault installs the unified fault plan into the matching Config field
+// (a no-op for an empty plan). Existing plans of other families are left
+// untouched; campaign layers pass one plan per mission.
+func (c *Config) SetFault(p faultinject.FaultPlan) {
+	switch {
+	case p.Kernel != nil:
+		c.KernelFault = p.Kernel
+	case p.State != nil:
+		c.StateFault = p.State
+	case p.Sensor != nil:
+		c.SensorFault = p.Sensor
+	case p.Actuator != nil:
+		c.ActuatorFault = p.Actuator
+	case p.Wind != nil:
+		c.WindFault = p.Wind
+	}
+}
+
+// Fault returns the configured fault as a unified plan (empty when the
+// mission is nominal). When several family fields are set, the first in
+// kernel, state, sensor, actuator, wind order is reported.
+func (c Config) Fault() faultinject.FaultPlan {
+	return faultinject.FaultPlan{
+		Kernel:   c.KernelFault,
+		State:    c.StateFault,
+		Sensor:   c.SensorFault,
+		Actuator: c.ActuatorFault,
+		Wind:     c.WindFault,
+	}
 }
 
 // Normalized returns cfg with every defaulted field resolved to its

@@ -86,9 +86,14 @@ type runner struct {
 	wpT     *ros.Topic[waypointMsg]
 	cmdT    *ros.Topic[sim.VelocityCmd]
 
-	// Fault injection.
-	kInj *faultinject.Injector
-	sInj *faultinject.StateInjector
+	// Fault injection. kInj/sInj are the paper's compute-fault injectors;
+	// senInj/actInj/windInj are the zoo's physical-fault injectors (all
+	// nil-safe opt-ins: a nominal mission takes bit-identical paths).
+	kInj    *faultinject.Injector
+	sInj    *faultinject.StateInjector
+	senInj  *faultinject.SensorInjector
+	actInj  *faultinject.ActuatorInjector
+	windInj *faultinject.WindInjector
 
 	// Detection.
 	prep     detect.Preprocessor
@@ -216,6 +221,20 @@ func newRunner(cfg Config) *runner {
 	}
 	if cfg.StateFault != nil {
 		r.sInj = faultinject.NewStateInjector(*cfg.StateFault)
+	}
+	if cfg.SensorFault != nil {
+		r.senInj = faultinject.NewSensorInjector(*cfg.SensorFault)
+	}
+	if cfg.ActuatorFault != nil {
+		r.actInj = faultinject.NewActuatorInjector(*cfg.ActuatorFault)
+		// Install the degradation at the command-issue output: it models
+		// the airframe's actuators, so it applies to tracker commands (the
+		// only ones with authority to degrade; hover/brake commands are
+		// zero-velocity).
+		r.tracker.Degrade = r.actInj.Degrade
+	}
+	if cfg.WindFault != nil {
+		r.windInj = faultinject.NewWindInjector(*cfg.WindFault)
 	}
 	// Recording buffers are reserved to the mission tick budget up front
 	// (the loop terminates at MaxMissionS, so they can never grow past it):
@@ -362,28 +381,53 @@ func (r *runner) run() Result {
 		if r.sInj != nil {
 			r.sInj.SetTime(r.t)
 		}
+		if r.senInj != nil {
+			r.senInj.SetTime(r.t)
+		}
+		if r.actInj != nil {
+			r.actInj.SetTime(r.t)
+		}
+		if r.windInj != nil {
+			r.windInj.SetTime(r.t)
+		}
 
 		gust := geom.V(r.rngs.sensor.NormFloat64()*0.15, r.rngs.sensor.NormFloat64()*0.15, 0)
-		r.mav.SetWind(r.windBase.Add(gust))
+		wind := r.windBase.Add(gust)
+		if r.windInj != nil {
+			// Environment disturbance: the deterministic gust offset rides
+			// on top of the mission's ambient wind.
+			wind = wind.Add(r.windInj.Offset(r.t))
+		}
+		r.mav.SetWind(wind)
 
 		st := r.mav.State()
 		reading := r.imu.Read(st, r.rngs.sensor)
+		// est is the state the PPC stack navigates by: ground truth, except
+		// under a position-sensor fault, where perception, planning, and
+		// control all fly on the corrupted estimate while the physics step,
+		// the camera pose, and the success/crash oracles stay ground-truth —
+		// only the vehicle's belief lies.
+		est := st
+		if r.senInj != nil {
+			reading.Pos = r.senInj.CorruptPos(reading.Pos)
+			est.Pos = r.senInj.CorruptPos(st.Pos)
+		}
 		r.imuT.Publish(reading)
 
 		// Execute a replan decided last tick (and not vetoed by the
 		// detector's recovery in between).
 		if r.planPending && r.t >= r.busyUntil {
 			r.planPending = false
-			r.runPlanner(st, false)
+			r.runPlanner(est, false)
 		}
 
 		r.senseAndMap(st)
 		phase := r.mission.Update(st.Pos)
-		r.perceive(st, phase)
-		r.maybePlan(st, phase)
-		cmd := r.command(st, phase)
+		r.perceive(est, phase)
+		r.maybePlan(est, phase)
+		cmd := r.command(est, phase)
 		r.cmdT.Publish(cmd)
-		cmd = r.detectAndRecover(st, phase, reading, cmd)
+		cmd = r.detectAndRecover(est, phase, reading, cmd)
 
 		r.mav.Step(cmd, r.tick)
 		watts := r.power.Power(r.mav.State().Vel)
@@ -397,7 +441,7 @@ func (r *runner) run() Result {
 			r.flushSink(len(r.trc.Samples))
 			s := r.mav.State()
 			r.trc.Add(trace.Sample{T: s.T, Pos: s.Pos, Vel: s.Vel, Yaw: s.Yaw})
-			if !injectedSeen && (r.kInj.Injected() || (r.sInj != nil && r.sInj.Injected())) {
+			if !injectedSeen && r.faultFired() {
 				injectedSeen = true
 				r.trc.MarkEvent("inject")
 			}
@@ -429,6 +473,12 @@ func (r *runner) senseAndMap(st sim.State) {
 	}
 	r.nextMapT = r.t + r.mapPeriod
 	r.camera.CaptureInto(r.frame, r.world, st.Pos, st.Yaw, r.rngs.sensor)
+	if r.senInj != nil {
+		// Sensor fault, depth channel: mutate the captured frame before it
+		// enters the perception chain. The injector draws from its own plan
+		// seed, so the mission RNG streams are unperturbed.
+		r.senInj.CorruptDepths(r.frame.Depth, r.frame.MaxRange)
+	}
 	r.depthT.Publish(r.frame) // → point cloud → OctoMap, synchronously
 }
 
@@ -649,8 +699,17 @@ func (r *runner) detectAndRecover(st sim.State, phase planning.MissionPhase, rea
 	}
 
 	r.acct.Alarms += len(recs)
+	if r.acct.FirstAlarmS == 0 {
+		r.acct.FirstAlarmS = r.t
+	}
 	if r.trc != nil {
 		r.trc.MarkEvent("alarm")
+	}
+	if r.cfg.DetectOnly {
+		// Detection-only mode: alarms are counted and timestamped but no
+		// recovery runs (and no suppression window follows — suppression
+		// belongs to recovery-induced discontinuities).
+		return cmd
 	}
 	for _, rec := range recs {
 		cmd = r.recover(rec, st, cmd)
@@ -738,18 +797,35 @@ func (r *runner) terminal() (bool, qof.Outcome) {
 	return false, qof.Success
 }
 
+// faultFired reports whether any configured fault — compute or physical —
+// has fired so far.
+func (r *runner) faultFired() bool {
+	return r.kInj.Injected() ||
+		(r.sInj != nil && r.sInj.Injected()) ||
+		(r.senInj != nil && r.senInj.Fired()) ||
+		(r.actInj != nil && r.actInj.Fired()) ||
+		(r.windInj != nil && r.windInj.Fired())
+}
+
 // finish assembles the Result.
 func (r *runner) finish(outcome qof.Outcome) Result {
 	r.res.Metrics = r.acct
 	r.res.Outcome = outcome
 	r.res.FlightTimeS = r.t
 	r.res.DistanceM = r.mav.DistanceFlown()
-	r.res.Injected = r.kInj.Injected() || (r.sInj != nil && r.sInj.Injected())
+	r.res.Injected = r.faultFired()
 	if r.kInj.Injected() {
 		r.res.InjectedAt = r.kInj.InjectedAt
 	} else if r.sInj != nil && r.sInj.Injected() {
 		r.res.InjectedAt = r.sInj.InjectedAt
+	} else if r.senInj != nil && r.senInj.Fired() {
+		r.res.InjectedAt = r.senInj.FiredAt()
+	} else if r.actInj != nil && r.actInj.Fired() {
+		r.res.InjectedAt = r.actInj.FiredAt()
+	} else if r.windInj != nil && r.windInj.Fired() {
+		r.res.InjectedAt = r.windInj.FiredAt()
 	}
+	r.res.Metrics.InjectedAtS = r.res.InjectedAt
 	if r.trc != nil {
 		if outcome == qof.Crash {
 			r.trc.MarkEvent("crash")

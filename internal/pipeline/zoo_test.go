@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mavfi/internal/faultinject"
+	"mavfi/internal/geom"
+	"mavfi/internal/platform"
+	"mavfi/internal/qof"
+)
+
+func TestZooFaultsFireAndReplayDeterministically(t *testing.T) {
+	world := sparseWorld()
+	nominal := NominalDuration(Config{World: world})
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range []faultinject.Family{faultinject.FamilySensor, faultinject.FamilyActuator, faultinject.FamilyWind} {
+		plan := faultinject.DrawFault(f, faultinject.NewDrawSpec(nominal, 1), nil, rng)
+		cfg := Config{World: world, Seed: 5}
+		cfg.SetFault(plan)
+		res := RunMission(cfg)
+		if !res.Injected {
+			t.Errorf("%s: fault never fired (plan %s)", f, plan)
+			continue
+		}
+		if res.InjectedAt <= 0 || res.Metrics.InjectedAtS != res.InjectedAt {
+			t.Errorf("%s: InjectedAt %.2f not propagated to metrics (%.2f)", f, res.InjectedAt, res.Metrics.InjectedAtS)
+		}
+		again := RunMission(cfg)
+		if !reflect.DeepEqual(res.Metrics, again.Metrics) {
+			t.Errorf("%s: faulted mission not deterministic:\n%+v\n%+v", f, res.Metrics, again.Metrics)
+		}
+	}
+}
+
+func TestSensorFaultPerturbsFlight(t *testing.T) {
+	world := sparseWorld()
+	golden := RunMission(Config{World: world, Seed: 5})
+	nominal := NominalDuration(Config{World: world})
+	plan := faultinject.SensorPlan{
+		Kind:      faultinject.SensorPosDrift,
+		OnsetS:    0.3 * nominal,
+		DurationS: nominal,
+		Severity:  1,
+		Dir:       geom.V(1, 0, 0),
+		Seed:      99,
+	}
+	res := RunMission(Config{World: world, Seed: 5, SensorFault: &plan})
+	if !res.Injected {
+		t.Fatal("drift fault never fired")
+	}
+	if res.Metrics == golden.Metrics {
+		t.Error("a full-severity position drift left the flight bit-identical to golden")
+	}
+}
+
+func TestActuatorFaultForcesTimeoutAndWatchdogReplans(t *testing.T) {
+	// A near-total thrust loss pins the vehicle below its trajectory: the
+	// progress watchdog (stuckTimeoutS) must keep forcing fresh plans, and
+	// the unwinnable mission must still end in a bounded Timeout rather
+	// than an infinite loop.
+	world := sparseWorld()
+	nominal := NominalDuration(Config{World: world})
+	plan := faultinject.ActuatorPlan{
+		Kind:      faultinject.ActuatorThrustLoss,
+		OnsetS:    0.2 * nominal,
+		DurationS: 10 * nominal,
+		Severity:  0.95,
+	}
+	budget := nominal * 2
+	res := RunMission(Config{World: world, Seed: 5, MaxMissionS: budget, ActuatorFault: &plan})
+	if res.Outcome != qof.Timeout {
+		t.Fatalf("outcome %v (flight %.1fs), want timeout on a %.1fs budget", res.Outcome, res.FlightTimeS, budget)
+	}
+	if res.FlightTimeS > budget+1 {
+		t.Errorf("mission ran past its budget: %.1fs > %.1fs", res.FlightTimeS, budget)
+	}
+	if res.Plans < 2 {
+		t.Errorf("stalled tracking never replanned: %d plans", res.Plans)
+	}
+}
+
+func TestDetectOnlyCountsAlarmsWithoutRecovery(t *testing.T) {
+	// Same corrupted-waypoint mission with and without DetectOnly: both see
+	// alarms, only the recovering one spends recomputation time.
+	world := sparseWorld()
+	gad := TrainGAD(CollectTrainingData(4, 400, platform.I9()), 4)
+	nominal := NominalDuration(Config{World: world})
+	mk := func(detectOnly bool) Result {
+		rng := rand.New(rand.NewSource(8))
+		plan := faultinject.NewStatePlan(faultinject.StateWpX, 0.2*nominal, 0.5*nominal, rng)
+		plan.Bit = 62 // exponent bit: a gross, detectable corruption
+		return RunMission(Config{
+			World: world, Seed: 5, StateFault: &plan,
+			Detector: gad.Clone(), DetectOnly: detectOnly,
+		})
+	}
+	observe := mk(true)
+	recover := mk(false)
+	if observe.Alarms == 0 {
+		t.Fatal("DetectOnly mission raised no alarms for an exponent waypoint corruption")
+	}
+	if observe.Recomputes != 0 {
+		t.Errorf("DetectOnly mission recomputed %d states", observe.Recomputes)
+	}
+	if observe.FirstAlarmS <= 0 {
+		t.Error("FirstAlarmS not latched on the first alarm")
+	}
+	if recover.Alarms == 0 || recover.Recomputes == 0 {
+		t.Errorf("recovery mission: alarms=%d recomputes=%d, want both > 0", recover.Alarms, recover.Recomputes)
+	}
+}
+
+func TestDetectionLatencyMetric(t *testing.T) {
+	m := qof.Metrics{InjectedAtS: 10, FirstAlarmS: 12.5}
+	if lat, ok := m.DetectionLatencyS(); !ok || lat != 2.5 {
+		t.Errorf("latency = %.2f, %v; want 2.5, true", lat, ok)
+	}
+	for _, m := range []qof.Metrics{
+		{InjectedAtS: 0, FirstAlarmS: 5},  // nothing fired
+		{InjectedAtS: 10, FirstAlarmS: 0}, // never alarmed
+		{InjectedAtS: 10, FirstAlarmS: 3}, // false positive before the fault
+	} {
+		if _, ok := m.DetectionLatencyS(); ok {
+			t.Errorf("latency defined for %+v", m)
+		}
+	}
+}

@@ -23,6 +23,13 @@ const (
 	Timeout
 	// BatteryOut: the battery was exhausted mid-mission.
 	BatteryOut
+	// Panicked: the mission function panicked; the campaign engine isolated
+	// the panic and recorded this structured outcome (campaign.MissionPanic
+	// carries the stack).
+	Panicked
+	// DeadlineExceeded: the mission exceeded the campaign's per-mission
+	// wall-clock deadline and its result was abandoned.
+	DeadlineExceeded
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +43,10 @@ func (o Outcome) String() string {
 		return "timeout"
 	case BatteryOut:
 		return "battery-out"
+	case Panicked:
+		return "panic"
+	case DeadlineExceeded:
+		return "deadline-exceeded"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -59,6 +70,23 @@ type Metrics struct {
 	// Detection/recovery event counts.
 	Alarms     int
 	Recomputes int
+
+	// Fault-response timing (0 = never): when the mission's fault fired and
+	// when the detector first alarmed, the pair behind campaign
+	// detection-latency aggregates. Mission clocks start at one tick > 0,
+	// so 0 is unambiguous.
+	InjectedAtS float64
+	FirstAlarmS float64
+}
+
+// DetectionLatencyS returns the injection-to-first-alarm latency, or ok =
+// false when the mission had no fired fault or no alarm (or alarmed only
+// before the fault, a false positive).
+func (m Metrics) DetectionLatencyS() (float64, bool) {
+	if m.InjectedAtS <= 0 || m.FirstAlarmS <= 0 || m.FirstAlarmS < m.InjectedAtS {
+		return 0, false
+	}
+	return m.FirstAlarmS - m.InjectedAtS, true
 }
 
 // Succeeded reports mission success.
@@ -115,6 +143,33 @@ func (c *Campaign) SuccessRate() float64 {
 		}
 	}
 	return float64(n) / float64(len(c.Results))
+}
+
+// CountOutcome returns the number of missions that ended with outcome o.
+func (c *Campaign) CountOutcome(o Outcome) int {
+	n := 0
+	for _, m := range c.Results {
+		if m.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanDetectionLatencyS averages detection latency over the missions where
+// it is defined (fault fired and an alarm followed); ok is false when none.
+func (c *Campaign) MeanDetectionLatencyS() (float64, bool) {
+	sum, n := 0.0, 0
+	for _, m := range c.Results {
+		if lat, ok := m.DetectionLatencyS(); ok {
+			sum += lat
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
 }
 
 // FlightTimes returns the flight times of successful missions only, the

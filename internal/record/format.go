@@ -7,7 +7,7 @@
 // *byte-verified*: re-simulating the header must reproduce the recorded tick
 // stream exactly, which is the CI determinism gate (`make replay-verify`).
 //
-// # On-disk format (version 1)
+// # On-disk format (versions 1–2)
 //
 // A recording is a magic string ("MAVFIREC"), one format-version byte, and a
 // sequence of self-delimiting frames, each `[1-byte type][4-byte LE length]
@@ -35,6 +35,12 @@
 // bytes. Tags longer than 255 bytes are truncated (real tags are ≤ ~30
 // bytes); the truncation is deterministic, so byte-verification is
 // unaffected.
+//
+// Version 2 extends version 1 additively: the header may carry the
+// fault-model-zoo plans (sensor_fault, actuator_fault, wind_fault) and the
+// detect_only flag, and the footer result gains first_alarm_s. The frame
+// layout and sample encoding are unchanged, so the reader accepts both
+// versions; Verify compensates for the one field version-1 footers predate.
 package record
 
 import (
@@ -56,8 +62,11 @@ import (
 // version.
 const Magic = "MAVFIREC"
 
-// Version is the current on-disk format version.
-const Version = 1
+// Version is the current on-disk format version (what the writer emits).
+const Version = 2
+
+// minVersion is the oldest format version the reader still accepts.
+const minVersion = 1
 
 // Frame types.
 const (
@@ -198,9 +207,13 @@ type Header struct {
 	Platform platform.Platform `json:"platform"`
 	World    WorldSpec         `json:"world"`
 
-	KernelFault *faultinject.Plan      `json:"kernel_fault,omitempty"`
-	StateFault  *faultinject.StatePlan `json:"state_fault,omitempty"`
-	Detector    *DetectorSpec          `json:"detector,omitempty"`
+	KernelFault   *faultinject.Plan         `json:"kernel_fault,omitempty"`
+	StateFault    *faultinject.StatePlan    `json:"state_fault,omitempty"`
+	SensorFault   *faultinject.SensorPlan   `json:"sensor_fault,omitempty"`
+	ActuatorFault *faultinject.ActuatorPlan `json:"actuator_fault,omitempty"`
+	WindFault     *faultinject.WindPlan     `json:"wind_fault,omitempty"`
+	Detector      *DetectorSpec             `json:"detector,omitempty"`
+	DetectOnly    bool                      `json:"detect_only,omitempty"`
 
 	// SnapshotEvery is the snapshot cadence the writer used, in samples.
 	SnapshotEvery int `json:"snapshot_every"`
@@ -278,6 +291,9 @@ type ResultRecord struct {
 	PlanFails          int     `json:"plan_fails"`
 	Injected           bool    `json:"injected"`
 	InjectedAt         float64 `json:"injected_at,omitempty"`
+	// FirstAlarmS is the detector's first alarm time (0 = none); version-1
+	// recordings predate it (see Mission.Verify).
+	FirstAlarmS float64 `json:"first_alarm_s,omitempty"`
 }
 
 // newResultRecord flattens a pipeline.Result for the footer.
@@ -299,6 +315,7 @@ func newResultRecord(res pipeline.Result) ResultRecord {
 		PlanFails:          res.PlanFails,
 		Injected:           res.Injected,
 		InjectedAt:         res.InjectedAt,
+		FirstAlarmS:        res.FirstAlarmS,
 	}
 }
 
@@ -316,6 +333,8 @@ func (r ResultRecord) Metrics() qof.Metrics {
 		RecoverControlS:    r.RecoverControlS,
 		Alarms:             r.Alarms,
 		Recomputes:         r.Recomputes,
+		FirstAlarmS:        r.FirstAlarmS,
+		InjectedAtS:        r.InjectedAt,
 	}
 }
 

@@ -83,8 +83,8 @@ func readMission(r io.Reader, skipSamples bool) (*Mission, error) {
 	if string(magic[:len(Magic)]) != Magic {
 		return nil, fmt.Errorf("record: bad magic %q (not a mission recording)", magic[:len(Magic)])
 	}
-	if v := magic[len(Magic)]; v != Version {
-		return nil, fmt.Errorf("record: unsupported format version %d (reader supports %d)", v, Version)
+	if v := magic[len(Magic)]; v < minVersion || v > Version {
+		return nil, fmt.Errorf("record: unsupported format version %d (reader supports %d–%d)", v, minVersion, Version)
 	}
 
 	m := &Mission{}

@@ -1,0 +1,76 @@
+package record
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mavfi/internal/faultinject"
+	"mavfi/internal/pipeline"
+)
+
+// TestVerifyZooFaults is the PR-7 byte-identity gate for the fault-model
+// zoo: a mission flown under every new plan family must replay from its
+// recorded header byte-for-byte, including the plan itself.
+func TestVerifyZooFaults(t *testing.T) {
+	w := testWorld()
+	nominal := pipeline.NominalDuration(pipeline.Config{World: w})
+	rng := rand.New(rand.NewSource(21))
+	for _, f := range []faultinject.Family{faultinject.FamilySensor, faultinject.FamilyActuator, faultinject.FamilyWind} {
+		t.Run(f.String(), func(t *testing.T) {
+			cfg := pipeline.Config{World: w, Seed: 5}
+			cfg.SetFault(faultinject.DrawFault(f, faultinject.NewDrawSpec(nominal, 1), nil, rng))
+			m, res, _ := recordMission(t, cfg)
+			if !res.Injected {
+				t.Fatal("fault did not fire; test misconfigured")
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			back, err := m.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(back.Fault(), cfg.Fault()) {
+				t.Errorf("plan did not round-trip through the header:\n got %+v\nwant %+v", back.Fault(), cfg.Fault())
+			}
+			if m.Footer.Result.InjectedAt != res.InjectedAt {
+				t.Errorf("footer injected_at %.2f, mission %.2f", m.Footer.Result.InjectedAt, res.InjectedAt)
+			}
+		})
+	}
+}
+
+func TestHeaderCarriesDetectOnly(t *testing.T) {
+	w := testWorld()
+	cfg := pipeline.Config{World: w, Seed: 3, DetectOnly: true}
+	m, _, _ := recordMission(t, cfg)
+	if !m.Header.DetectOnly {
+		t.Fatal("DetectOnly not serialized in the header")
+	}
+	back, err := m.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.DetectOnly {
+		t.Fatal("DetectOnly not restored from the header")
+	}
+}
+
+func TestVersion2RecordingsDeclareVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := RunRecorded(pipeline.Config{World: testWorld(), Seed: 3}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[len(Magic)]; got != 2 {
+		t.Fatalf("on-disk format version %d, want 2", got)
+	}
+	m, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Version != 2 {
+		t.Fatalf("header version %d, want 2", m.Header.Version)
+	}
+}
