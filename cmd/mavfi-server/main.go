@@ -1,0 +1,74 @@
+// Command mavfi-server runs the mavfi campaign service: a long-running HTTP
+// server that accepts campaign jobs, executes them on the campaign worker
+// pool behind a bounded FIFO queue, streams per-mission results over SSE,
+// and serves finished cells in the exact CSV schema `mavfi matrix` emits.
+//
+//	mavfi-server -addr :8080 -workers 4 -record-dir runs/ -warm sparse,dense
+//
+// With -record-dir, jobs submitted with "record": true persist their mission
+// recordings there and survive restarts: on startup the server rebuilds
+// finished jobs from the recordings without re-simulating anything.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mavfi/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 16, "job queue capacity (submissions beyond it get 429)")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS-derived default)")
+	recordDir := flag.String("record-dir", "", "directory for recorded jobs (enables restart recovery)")
+	deadline := flag.Duration("deadline", 0, "per-mission wall-clock budget (0 = none; breaks byte-identity when it fires)")
+	warm := flag.String("warm", "", "comma-separated worlds to build at startup (e.g. sparse,dense)")
+	flag.Parse()
+
+	var warmWorlds []string
+	if *warm != "" {
+		warmWorlds = strings.Split(*warm, ",")
+	}
+	srv, err := server.New(server.Config{
+		Queue:      *queue,
+		Workers:    *workers,
+		RecordDir:  *recordDir,
+		Deadline:   *deadline,
+		WarmWorlds: warmWorlds,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("mavfi-server listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		log.Printf("mavfi-server: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+}

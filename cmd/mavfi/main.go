@@ -250,7 +250,7 @@ func runMatrix(argv []string) {
 	fs := flag.NewFlagSet("mavfi matrix", flag.ExitOnError)
 	var (
 		worlds     = fs.String("worlds", "sparse", "comma-separated environments: factory, farm, sparse, dense")
-		families   = fs.String("families", "all", "comma-separated fault families (kernel,state,sensor,actuator,wind) or all")
+		families   = fs.String("families", "all", "comma-separated fault targets (family[:kind], e.g. sensor,actuator:thrust_loss) or all")
 		severities = fs.String("severities", "low,high", "comma-separated severity levels (low, med, high, or name=scale)")
 		detectors  = fs.String("detectors", "none", "comma-separated detectors: none, gad, aad")
 		recovery   = fs.String("recoveries", "on", "recovery axis for detector cells: on, off, or on,off")
@@ -264,7 +264,7 @@ func runMatrix(argv []string) {
 	)
 	fs.Parse(argv)
 
-	fams, err := matrix.ParseFamilies(*families)
+	targets, err := matrix.ParseTargets(*families)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -290,7 +290,7 @@ func runMatrix(argv []string) {
 
 	spec := matrix.Spec{
 		Worlds:      splitList(*worlds),
-		Families:    fams,
+		Targets:     targets,
 		Severities:  sevs,
 		Detectors:   splitList(*detectors),
 		Recoveries:  recs,

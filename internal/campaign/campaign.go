@@ -57,9 +57,10 @@ func DefaultWorkers() int {
 // Runner executes campaigns on a fixed-size worker pool. The zero value is
 // not ready; use New.
 type Runner struct {
-	workers  int
-	progress func(done, total int)
-	deadline time.Duration
+	workers    int
+	progress   func(done, total int)
+	deadline   time.Duration
+	resultHook func(i int, m qof.Metrics)
 }
 
 // Option configures a Runner.
@@ -81,6 +82,18 @@ func WithWorkers(n int) Option {
 // The hook may be called concurrently from multiple workers.
 func WithProgress(fn func(done, total int)) Option {
 	return func(r *Runner) { r.progress = fn }
+}
+
+// WithResultHook installs a hook invoked once per mission from Run, as soon
+// as the mission's result is final — including the synthesized qof.Panicked
+// and qof.DeadlineExceeded outcomes the hardened engine produces, which never
+// reach the Mission function's own return path. Hooks fire in completion
+// order (not mission order) and may be called concurrently from multiple
+// workers; the final Outcome is still assembled in mission order. This is the
+// streaming surface campaign services use to push per-mission results to
+// subscribers while a job is still running.
+func WithResultHook(fn func(i int, m qof.Metrics)) Option {
+	return func(r *Runner) { r.resultHook = fn }
 }
 
 // WithMissionDeadline bounds each mission's wall-clock run time in Run: a
@@ -238,6 +251,9 @@ func (r *Runner) Run(ctx context.Context, name string, n int, mission Mission) (
 	err := r.forEach(ctx, n, func(w, i int) {
 		m := r.runGuarded(i, mission, onPanic)
 		results[i], ran[i] = m, true
+		if r.resultHook != nil {
+			r.resultHook(i, m)
+		}
 		if m.Succeeded() {
 			shards[w].flight.Add(m.FlightTimeS)
 			shards[w].energy.Add(m.EnergyJ)

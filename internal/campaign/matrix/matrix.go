@@ -27,18 +27,20 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mavfi/internal/campaign"
-	"mavfi/internal/detect"
 	"mavfi/internal/env"
 	"mavfi/internal/faultinject"
 	"mavfi/internal/pipeline"
-	"mavfi/internal/platform"
 	"mavfi/internal/qof"
+	"mavfi/internal/record"
 )
 
 // Severity is one named magnitude level of the sweep's severity axis; Scale
@@ -71,8 +73,10 @@ func ParseSeverities(s string) ([]Severity, error) {
 		}
 		if name, val, ok := strings.Cut(part, "="); ok {
 			scale, err := strconv.ParseFloat(val, 64)
-			if err != nil || scale <= 0 {
-				return nil, fmt.Errorf("matrix: bad severity %q (want name=positive-scale)", part)
+			// !(scale > 0) also rejects NaN; infinities parse cleanly but
+			// poison every downstream magnitude, so they are refused too.
+			if err != nil || name == "" || !(scale > 0) || math.IsInf(scale, 0) {
+				return nil, fmt.Errorf("matrix: bad severity %q (want name=positive-finite-scale)", part)
 			}
 			out = append(out, Severity{Name: name, Scale: scale})
 			continue
@@ -85,6 +89,60 @@ func ParseSeverities(s string) ([]Severity, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("matrix: empty severity list")
+	}
+	return out, nil
+}
+
+// Target is one coordinate of the fault axis: a family plus an optional
+// mechanism ("kind") restriction — the matrix form of the
+// faultinject.ParseTarget "family[:kind]" syntax. A kindless target sweeps
+// the whole family, which is the classic Families axis; a kinded target
+// ("sensor:ray_dropout") pins every drawn plan to that one mechanism without
+// changing the RNG schedule (the faultinject draw-count contract).
+type Target struct {
+	// Family is the fault family.
+	Family faultinject.Family
+	// Kind restricts the family to one mechanism ("" = unrestricted). The
+	// accepted names are the family's canonical kind names (and the kernel
+	// flag names for FamilyKernel), as in faultinject.ParseTarget.
+	Kind string
+}
+
+// String renders the canonical "family[:kind]" form.
+func (t Target) String() string {
+	if t.Kind == "" {
+		return t.Family.String()
+	}
+	return t.Family.String() + ":" + t.Kind
+}
+
+// ParseTargets parses a comma-separated fault axis where every entry is a
+// "family[:kind]" target ("sensor,actuator:thrust_loss"), or "all" for every
+// family unrestricted — the superset of ParseFamilies the CLIs and the
+// campaign server accept.
+func ParseTargets(s string) ([]Target, error) {
+	if strings.TrimSpace(s) == "all" {
+		var out []Target
+		for _, f := range faultinject.Families() {
+			out = append(out, Target{Family: f})
+		}
+		return out, nil
+	}
+	var out []Target
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fam, _, err := faultinject.ParseTarget(part)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: %w", err)
+		}
+		_, kind, _ := strings.Cut(part, ":")
+		out = append(out, Target{Family: fam, Kind: kind})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("matrix: empty fault-target list")
 	}
 	return out, nil
 }
@@ -137,8 +195,12 @@ func World(name string) (*env.World, error) {
 type Spec struct {
 	// Worlds are environment names for World (default ["sparse"]).
 	Worlds []string
-	// Families is the fault-family axis (default all five).
+	// Families is the fault-family axis (default all five). Targets, when
+	// non-empty, supersedes it.
 	Families []faultinject.Family
+	// Targets is the fault axis with optional per-mechanism restrictions;
+	// when empty it derives from Families (kindless targets).
+	Targets []Target
 	// Severities is the severity axis (default DefaultSeverities).
 	Severities []Severity
 	// Detectors are detector names: "none", "gad", "aad" (default ["none"]).
@@ -163,6 +225,17 @@ type Spec struct {
 	Deadline time.Duration
 	// Progress, when non-nil, receives mission completion counts.
 	Progress func(done, total int)
+	// OnMission, when non-nil, receives every mission result the moment it
+	// is final (campaign.WithResultHook semantics: completion order, not
+	// mission order, possibly concurrently from several workers; i is the
+	// flat mission index, cell i/Runs mission i%Runs). This is the streaming
+	// surface the campaign server pushes per-mission results through.
+	OnMission func(i int, m qof.Metrics)
+	// RecordDir, when set, persists every mission as a replayable recording
+	// under it (record.MissionPath over the flat mission index, the layout
+	// record.ScanDir recovers). Recording failures never fail missions; the
+	// first one is reported in Result.RecordErr.
+	RecordDir string
 }
 
 func (s Spec) normalized() Spec {
@@ -171,6 +244,11 @@ func (s Spec) normalized() Spec {
 	}
 	if len(s.Families) == 0 {
 		s.Families = faultinject.Families()
+	}
+	if len(s.Targets) == 0 {
+		for _, f := range s.Families {
+			s.Targets = append(s.Targets, Target{Family: f})
+		}
 	}
 	if len(s.Severities) == 0 {
 		s.Severities = DefaultSeverities()
@@ -201,19 +279,48 @@ type Cell struct {
 	Severity Severity
 	Detector string
 	Recovery bool
+	// Kind is the optional mechanism restriction of the cell's fault target
+	// ("" = whole family). Kinded cells render "family:kind" in Name, so
+	// their seeds are distinct from (and never perturb) kindless cells.
+	Kind string
 	// Seed is campaign.MissionSeed(matrixSeed, fnv64a(Name())): the root of
 	// the cell's plan RNG and its per-mission seeds, a function of the
 	// cell's identity rather than its position in the enumeration.
 	Seed int64
 }
 
+// Target returns the cell's fault-axis coordinate.
+func (c Cell) Target() Target { return Target{Family: c.Family, Kind: c.Kind} }
+
 // Name renders the cell's canonical identifier, also used in CSV filenames.
+// The cell seed is an FNV-64a hash of this name, so the rendering is part of
+// the seed-stability contract: kindless cells render exactly as they did
+// before targets existed.
 func (c Cell) Name() string {
 	rec := "norec"
 	if c.Recovery {
 		rec = "rec"
 	}
-	return fmt.Sprintf("%s-%s-%s-%s-%s", c.World, c.Family, c.Severity.Name, c.Detector, rec)
+	return fmt.Sprintf("%s-%s-%s-%s-%s", c.World, c.Target(), c.Severity.Name, c.Detector, rec)
+}
+
+// drawSpec builds the cell's DrawFault parameterization: the open family
+// spec at the cell's severity over the world's nominal duration, restricted
+// to the cell's kind when one is set.
+func (c Cell) drawSpec(nominalS float64) (faultinject.DrawSpec, error) {
+	spec := faultinject.NewDrawSpec(nominalS, c.Severity.Scale)
+	if c.Kind == "" {
+		return spec, nil
+	}
+	_, restricted, err := faultinject.ParseTarget(c.Target().String())
+	if err != nil {
+		return spec, fmt.Errorf("matrix: cell %s: %w", c.Name(), err)
+	}
+	spec.Kernel = restricted.Kernel
+	spec.State = restricted.State
+	spec.SensorKind = restricted.SensorKind
+	spec.ActuatorKind = restricted.ActuatorKind
+	return spec, nil
 }
 
 // CellResult is one cell's aggregate: its campaign plus the fault plans its
@@ -234,15 +341,20 @@ type Result struct {
 	// Panics lists isolated mission panics (flat mission index i maps to
 	// cell i/Runs, mission i%Runs). Empty on a healthy run.
 	Panics []campaign.MissionPanic
+	// RecordErr is the first recording failure when Spec.RecordDir was set
+	// (nil otherwise, and nil on a fully recorded run). Recording failures
+	// never abort missions, so the Result is complete even when set.
+	RecordErr error
 }
 
-// enumerate builds the fixed cell grid: world-major, then family, severity,
-// detector, and recovery — the enumeration order cell seeds are defined
-// over. Changing this order is a breaking change to every matrix seed.
+// enumerate builds the fixed cell grid: world-major, then fault target,
+// severity, detector, and recovery — the enumeration order cell seeds are
+// defined over. Changing this order is a breaking change to every matrix
+// seed.
 func enumerate(spec Spec) []Cell {
 	var cells []Cell
 	for _, w := range spec.Worlds {
-		for _, f := range spec.Families {
+		for _, tg := range spec.Targets {
 			for _, sev := range spec.Severities {
 				for _, det := range spec.Detectors {
 					recs := spec.Recoveries
@@ -254,7 +366,8 @@ func enumerate(spec Spec) []Cell {
 						c := Cell{
 							Index:    len(cells),
 							World:    w,
-							Family:   f,
+							Family:   tg.Family,
+							Kind:     tg.Kind,
 							Severity: sev,
 							Detector: det,
 							Recovery: rec,
@@ -271,20 +384,42 @@ func enumerate(spec Spec) []Cell {
 	return cells
 }
 
+// Cells returns the spec's cell grid in enumeration order without running
+// anything — how the campaign server derives a job's cell identity (name,
+// seed, CSV filename) at submission time and during restart recovery.
+func Cells(spec Spec) []Cell {
+	return enumerate(spec.normalized())
+}
+
 // Run executes the matrix. Cells share one flat hardened worker pool (the
 // pool never idles at cell boundaries), detectors are trained once and
 // cloned per mission, and kernel-family cells calibrate dynamic-value counts
 // with one golden run per world before the sweep starts.
 func Run(ctx context.Context, spec Spec) (*Result, error) {
+	return RunOn(ctx, spec, NewAssets())
+}
+
+// RunOn is Run against a caller-owned warm-asset cache: a long-running
+// campaign server passes one Assets so worlds, calibration counters, and
+// trained detectors are built once and shared across jobs. Results are
+// bit-identical to a cold Run because every cached asset is a deterministic
+// pure function of its key and is either immutable (worlds, counters) or
+// cloned per mission (detectors) — this is the code path both the `mavfi
+// matrix` CLI and the campaign server execute, which is what makes the
+// served-equals-CLI byte-identity invariant testable.
+func RunOn(ctx context.Context, spec Spec, assets *Assets) (*Result, error) {
 	spec = spec.normalized()
 	cells := enumerate(spec)
+	if assets == nil {
+		assets = NewAssets()
+	}
 
 	worlds := make(map[string]*env.World, len(spec.Worlds))
 	for _, name := range spec.Worlds {
 		if _, ok := worlds[name]; ok {
 			continue
 		}
-		w, err := World(name)
+		w, err := assets.World(name)
 		if err != nil {
 			return nil, err
 		}
@@ -292,8 +427,8 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	}
 
 	needKernel := false
-	for _, f := range spec.Families {
-		needKernel = needKernel || f == faultinject.FamilyKernel
+	for _, tg := range spec.Targets {
+		needKernel = needKernel || tg.Family == faultinject.FamilyKernel
 	}
 	// Per-world calibration (kernel family only) and nominal durations, both
 	// sequential and mission-independent.
@@ -302,18 +437,24 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	for name, w := range worlds {
 		nominal[name] = pipeline.NominalDuration(pipeline.Config{World: w, MaxMissionS: spec.MaxMissionS})
 		if needKernel {
-			ctr := faultinject.NewCounter()
-			pipeline.RunMission(pipeline.Config{World: w, Seed: spec.Seed + 555, MaxMissionS: spec.MaxMissionS, Counter: ctr})
+			ctr, err := assets.Counter(name, spec.Seed, spec.MaxMissionS)
+			if err != nil {
+				return nil, err
+			}
 			counters[name] = ctr
 		}
 	}
 
-	runner := campaign.New(
+	opts := []campaign.Option{
 		campaign.WithWorkers(spec.Workers),
 		campaign.WithMissionDeadline(spec.Deadline),
 		campaign.WithProgress(spec.Progress),
-	)
-	factories, err := trainDetectors(ctx, runner, spec)
+	}
+	if spec.OnMission != nil {
+		opts = append(opts, campaign.WithResultHook(spec.OnMission))
+	}
+	runner := campaign.New(opts...)
+	factories, err := assets.detectorFactories(ctx, runner, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -323,13 +464,24 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	plans := make([][]faultinject.FaultPlan, len(cells))
 	for ci, cell := range cells {
 		planRNG := rand.New(rand.NewSource(cell.Seed))
-		drawSpec := faultinject.NewDrawSpec(nominal[cell.World], cell.Severity.Scale)
+		drawSpec, err := cell.drawSpec(nominal[cell.World])
+		if err != nil {
+			return nil, err
+		}
 		cellPlans := make([]faultinject.FaultPlan, spec.Runs)
 		for j := range cellPlans {
 			cellPlans[j] = faultinject.DrawFault(cell.Family, drawSpec, counters[cell.World], planRNG)
 		}
 		plans[ci] = cellPlans
 	}
+
+	if spec.RecordDir != "" {
+		if err := os.MkdirAll(spec.RecordDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var recMu sync.Mutex
+	var recErr error
 
 	total := len(cells) * spec.Runs
 	out, runErr := runner.Run(ctx, "matrix", total, func(i int) qof.Metrics {
@@ -345,10 +497,21 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 			cfg.Detector = mk()
 			cfg.DetectOnly = !cell.Recovery
 		}
-		return pipeline.RunMission(cfg).Metrics
+		if spec.RecordDir == "" {
+			return pipeline.RunMission(cfg).Metrics
+		}
+		res, rerr := record.RecordedMission(spec.RecordDir, i, cfg)
+		if rerr != nil {
+			recMu.Lock()
+			if recErr == nil {
+				recErr = fmt.Errorf("matrix: recording mission %d: %w", i, rerr)
+			}
+			recMu.Unlock()
+		}
+		return res.Metrics
 	})
 
-	res := &Result{Spec: spec, Panics: out.Panics}
+	res := &Result{Spec: spec, Panics: out.Panics, RecordErr: recErr}
 	for ci, cell := range cells {
 		camp := &qof.Campaign{Name: cell.Name()}
 		lo, hi := ci*spec.Runs, (ci+1)*spec.Runs
@@ -362,40 +525,4 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		res.Cells = append(res.Cells, CellResult{Cell: cell, Campaign: camp, Plans: plans[ci]})
 	}
 	return res, runErr
-}
-
-// trainDetectors builds the detector factories the spec's detector axis
-// needs: nil for "none", clone-per-mission factories for gad/aad trained on
-// one shared corpus (collected deterministically on the matrix pool, with
-// the same seed offsets cmd/mavfi uses).
-func trainDetectors(ctx context.Context, r *campaign.Runner, spec Spec) (map[string]func() detect.Detector, error) {
-	factories := make(map[string]func() detect.Detector, len(spec.Detectors))
-	var data [][detect.NumStates]float64
-	for _, name := range spec.Detectors {
-		if _, ok := factories[name]; ok {
-			continue
-		}
-		switch name {
-		case "none":
-			factories[name] = nil
-		case "gad", "aad":
-			if data == nil {
-				var err error
-				data, err = pipeline.CollectTrainingDataOn(ctx, r, spec.TrainEnvs, spec.Seed+1000, platform.I9())
-				if err != nil {
-					return nil, fmt.Errorf("matrix: collecting training data: %w", err)
-				}
-			}
-			if name == "gad" {
-				gad := pipeline.TrainGAD(data, 4)
-				factories[name] = func() detect.Detector { return gad.Clone() }
-			} else {
-				aad := pipeline.TrainAAD(data, detect.DefaultAADConfig(), spec.Seed+2000)
-				factories[name] = func() detect.Detector { return aad.Clone() }
-			}
-		default:
-			return nil, fmt.Errorf("matrix: unknown detector %q (have none, gad, aad)", name)
-		}
-	}
-	return factories, nil
 }

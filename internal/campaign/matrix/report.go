@@ -25,13 +25,29 @@ func (r *Result) WriteCSV(dir string) error {
 		return err
 	}
 	for _, cr := range r.Cells {
-		path := filepath.Join(dir, fmt.Sprintf("cell-%03d-%s.csv", cr.Cell.Index, cr.Cell.Name()))
+		path := filepath.Join(dir, cr.Cell.CSVName())
 		if err := os.WriteFile(path, []byte(cr.csv()), 0o644); err != nil {
 			return err
 		}
 	}
 	return os.WriteFile(filepath.Join(dir, "summary.csv"), []byte(r.summaryCSV()), 0o644)
 }
+
+// CSVName is the cell's canonical CSV filename (index-prefixed so lexical
+// order is enumeration order) — shared by WriteCSV and the campaign server's
+// persisted artifacts.
+func (c Cell) CSVName() string {
+	return fmt.Sprintf("cell-%03d-%s.csv", c.Index, c.Name())
+}
+
+// CSV renders the cell's per-mission rows — the exact bytes WriteCSV puts in
+// the cell's file, exported so the campaign server serves the same artifact
+// from the same renderer.
+func (cr *CellResult) CSV() string { return cr.csv() }
+
+// SummaryCSV renders the per-cell aggregate table — the exact bytes WriteCSV
+// puts in summary.csv.
+func (r *Result) SummaryCSV() string { return r.summaryCSV() }
 
 // csv renders the cell's per-mission rows.
 func (cr *CellResult) csv() string {
@@ -75,7 +91,7 @@ func (r *Result) summaryCSV() string {
 			latS = fm(lat)
 		}
 		fmt.Fprintf(&b, "%d,%s,%s,%s,%s,%v,%d,%s,%d,%d,%d,%d,%d,%d,%s,%s,%s\n",
-			c.Index, c.World, c.Family, c.Severity.Name, c.Detector, c.Recovery,
+			c.Index, c.World, c.Target(), c.Severity.Name, c.Detector, c.Recovery,
 			camp.N(), fm(camp.SuccessRate()),
 			camp.CountOutcome(qof.Crash), camp.CountOutcome(qof.Timeout),
 			camp.CountOutcome(qof.BatteryOut), camp.CountOutcome(qof.Panicked),
@@ -85,10 +101,16 @@ func (r *Result) summaryCSV() string {
 	return b.String()
 }
 
-// missionSeed recomputes mission j's pipeline seed (also derived in Run);
-// exposed in the CSV so any mission can be re-flown standalone.
-func missionSeed(c Cell, j int) int64 {
+// MissionSeed recomputes mission j's pipeline seed (also derived in Run);
+// exposed in the CSV (and in the campaign server's streamed events) so any
+// mission can be re-flown standalone.
+func (c Cell) MissionSeed(j int) int64 {
 	return campaign.MissionSeed(c.Seed, j)
+}
+
+// missionSeed keeps the CSV renderer on the same derivation.
+func missionSeed(c Cell, j int) int64 {
+	return c.MissionSeed(j)
 }
 
 // Table renders the Table-I-style aggregate: one success-rate grid
@@ -119,14 +141,14 @@ func (r *Result) Table() string {
 				}
 				fmt.Fprintf(&b, "severity=%s detector=%s (%s) — success rate\n", sev.Name, det, mode)
 				fmt.Fprintf(&b, "%-10s", "world")
-				for _, f := range spec.Families {
-					fmt.Fprintf(&b, "%10s", f)
+				for _, tg := range spec.Targets {
+					fmt.Fprintf(&b, "%10s", tg)
 				}
 				b.WriteString("\n")
 				for _, w := range spec.Worlds {
 					fmt.Fprintf(&b, "%-10s", w)
-					for _, f := range spec.Families {
-						key := Cell{World: w, Family: f, Severity: sev, Detector: det, Recovery: rec}.Name()
+					for _, tg := range spec.Targets {
+						key := Cell{World: w, Family: tg.Family, Kind: tg.Kind, Severity: sev, Detector: det, Recovery: rec}.Name()
 						if cr, ok := byKey[key]; ok && cr.Campaign.N() > 0 {
 							fmt.Fprintf(&b, "%9.1f%%", cr.Campaign.SuccessRate()*100)
 						} else {

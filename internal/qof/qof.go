@@ -32,6 +32,10 @@ const (
 	DeadlineExceeded
 )
 
+// NumOutcomes is the number of defined Outcome values, for callers keeping
+// per-outcome tallies in a dense array.
+const NumOutcomes = int(DeadlineExceeded) + 1
+
 // String implements fmt.Stringer.
 func (o Outcome) String() string {
 	switch o {

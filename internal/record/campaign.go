@@ -19,6 +19,26 @@ func MissionPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("mission-%05d.rec", i))
 }
 
+// RecordedMission flies cfg while persisting it to MissionPath(dir, i).
+// Recording failures never fail the mission: when the file cannot be created
+// or the writer errors, the mission still flies (or completes unrecorded) and
+// the recording error is returned alongside the genuine result. This is the
+// single per-mission persistence point RunCampaign and the campaign matrix's
+// RecordDir mode share, so every recorded campaign produces the same
+// dir/mission-%05d.rec layout record.ScanDir recovers.
+func RecordedMission(dir string, i int, cfg pipeline.Config) (pipeline.Result, error) {
+	f, err := os.Create(MissionPath(dir, i))
+	if err != nil {
+		// No file: fly unrecorded so the campaign aggregate survives.
+		return pipeline.RunMission(cfg), err
+	}
+	res, err := RunRecorded(cfg, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return res, err
+}
+
 // RunCampaign runs the n missions of one campaign cell across r's worker
 // pool, recording every mission to its own file under dir (created if
 // missing). Each worker writes only its mission's file, so recording is safe
@@ -45,17 +65,7 @@ func RunCampaign(ctx context.Context, r *campaign.Runner, dir, name string, n in
 		mu.Unlock()
 	}
 	out, err := r.Run(ctx, name, n, func(i int) qof.Metrics {
-		cfg := makeCfg(i)
-		f, ferr := os.Create(MissionPath(dir, i))
-		if ferr != nil {
-			// No file: fly unrecorded so the campaign aggregate survives.
-			record(i, ferr)
-			return pipeline.RunMission(cfg).Metrics
-		}
-		res, rerr := RunRecorded(cfg, f)
-		if cerr := f.Close(); rerr == nil {
-			rerr = cerr
-		}
+		res, rerr := RecordedMission(dir, i, makeCfg(i))
 		if rerr != nil {
 			record(i, rerr)
 		}

@@ -1,0 +1,59 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mavfi/internal/pipeline"
+)
+
+// FuzzRecordRead throws mutated recording bytes at the reader. The contract
+// under test: Read never panics, and anything short of an intact recording
+// comes back as an error (ErrIncomplete for a missing footer, a decode or
+// digest error for corruption) — Complete is only ever set on a recording
+// whose canonical tick stream matches its footer digest.
+//
+// The corpus seeds a real version-2 recording plus the edge shapes the
+// reader special-cases: truncations at frame boundaries, a bad magic, an
+// unsupported version byte, and an empty input.
+func FuzzRecordRead(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := RunRecorded(pipeline.Config{World: testWorld(), Seed: 3, MaxMissionS: 20}, &buf); err != nil {
+		f.Fatalf("seeding recording: %v", err)
+	}
+	rec := buf.Bytes()
+	f.Add(rec)
+	f.Add(rec[:len(Magic)+1]) // magic+version only
+	f.Add(rec[:len(rec)/2])   // mid-stream truncation
+	f.Add(rec[:len(rec)-1])   // clipped footer
+	bad := append([]byte(nil), rec...)
+	bad[len(Magic)] = 99 // unsupported version
+	f.Add(bad)
+	f.Add([]byte("NOTAMAGIC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Chunk frames are gzip-compressed; cap the input so a crafted bomb
+		// can't balloon the smoke run (gzip tops out near 1032:1).
+		if len(data) > 64<<10 {
+			t.Skip("oversized input")
+		}
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if errors.Is(err, ErrIncomplete) && m == nil {
+				t.Fatal("ErrIncomplete without the partial mission")
+			}
+			return
+		}
+		if m == nil {
+			t.Fatal("nil mission with nil error")
+		}
+		if !m.Complete {
+			t.Fatal("Read returned nil error for an incomplete recording")
+		}
+		if v := m.Header.Version; v != 0 && (v < int(minVersion) || v > int(Version)) {
+			t.Fatalf("accepted recording declares unsupported version %d", v)
+		}
+	})
+}

@@ -198,11 +198,16 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("record: truncated frame header: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
-	payload := make([]byte, n)
-	if got, err := io.ReadFull(r, payload); err != nil {
+	// Grow the payload as bytes actually arrive rather than trusting the
+	// declared length: a corrupt header can claim up to 4 GiB, and a single
+	// upfront make() of that size is an allocation bomb (found by
+	// FuzzRecordRead). CopyN fails at the true end of input having only
+	// buffered what was really there.
+	var payload bytes.Buffer
+	if got, err := io.CopyN(&payload, r, int64(n)); err != nil {
 		return 0, nil, fmt.Errorf("record: truncated frame payload (%d of %d bytes): %w", got, n, err)
 	}
-	return hdr[0], payload, nil
+	return hdr[0], payload.Bytes(), nil
 }
 
 // Info is a recording's metadata without its tick payload: what a campaign

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs              submit a job (JobSpec JSON); 429 when the queue
+//	                          is full; ?wait=1 blocks until the job finishes
+//	GET    /jobs              every job's status, submission order
+//	GET    /jobs/{id}         one job's status (mission results once terminal)
+//	GET    /jobs/{id}/stream  SSE: replayed history, then live per-mission
+//	                          results, then a terminal "done" event
+//	GET    /jobs/{id}/cell.csv     per-mission CSV, `mavfi matrix` schema
+//	GET    /jobs/{id}/summary.csv  per-cell summary CSV, same schema
+//	DELETE /jobs/{id}         cancel a queued or running job
+//	GET    /healthz           liveness
+//	GET    /metrics           Prometheus text metrics
+//	GET    /debug/pprof/      profiling
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/cell.csv", s.handleCellCSV)
+	mux.HandleFunc("GET /jobs/{id}/summary.csv", s.handleSummaryCSV)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, s.metrics.render())
+	})
+	// net/http/pprof registers on DefaultServeMux at import; wire its
+	// handlers into this mux explicitly instead.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// handleSubmit accepts a JobSpec, enqueues it, and answers with the job
+// status — 202 immediately, or, with ?wait=1, 200 with the terminal status
+// once the job finishes (the shape the CI smoke job scripts against).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	if err == errQueueFull {
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, j.status())
+		return
+	}
+	select {
+	case <-j.finished:
+		writeJSON(w, http.StatusOK, j.status())
+	case <-r.Context().Done():
+		// Client gave up waiting; the job keeps running.
+	}
+}
+
+// handleList answers with every job's status.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+// jobFor resolves the {id} path value, answering 404 itself on a miss.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *Job {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", r.PathValue("id")))
+		return nil
+	}
+	return j
+}
+
+// handleStatus answers with one job's status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobFor(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// handleCancel requests job cancellation.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	if !s.Cancel(j.ID) {
+		writeError(w, http.StatusConflict, fmt.Sprintf("job %s is already finished", j.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleStream serves the job's per-mission results as Server-Sent Events:
+// first the history already published (so late subscribers miss nothing),
+// then live events as missions complete, and finally one "done" event
+// carrying the terminal status. Event order is completion order — mission
+// order is available afterwards from the status and CSV endpoints.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, v any) {
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		fl.Flush()
+	}
+
+	history, ch, unsub := j.subscribe()
+	defer unsub()
+	for _, ev := range history {
+		send("mission", ev)
+	}
+	for {
+		select {
+		case ev := <-ch:
+			send("mission", ev)
+		case <-j.finished:
+			// Drain events that raced with completion before closing out.
+			for {
+				select {
+				case ev := <-ch:
+					send("mission", ev)
+					continue
+				default:
+				}
+				break
+			}
+			send("done", j.status())
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleCellCSV serves the finished job's per-mission CSV — the same bytes
+// `mavfi matrix` writes for this cell.
+func (s *Server) handleCellCSV(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	res := j.result
+	j.mu.Unlock()
+	if res == nil || len(res.Cells) != 1 {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("job %s has no results yet", j.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.Cell.CSVName()))
+	fmt.Fprint(w, res.Cells[0].CSV())
+}
+
+// handleSummaryCSV serves the finished job's summary CSV — the same bytes
+// `mavfi matrix` writes to summary.csv for this single-cell spec.
+func (s *Server) handleSummaryCSV(w http.ResponseWriter, r *http.Request) {
+	j := s.jobFor(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	res := j.result
+	j.mu.Unlock()
+	if res == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("job %s has no results yet", j.ID))
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	fmt.Fprint(w, res.SummaryCSV())
+}

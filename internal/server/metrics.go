@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"mavfi/internal/qof"
+)
+
+// metrics is the server's counter set, rendered in Prometheus text
+// exposition format by GET /metrics. Hand-rolled on atomics — the repo's
+// no-new-dependencies rule precludes a client library, and the text format
+// is simple enough that one renderer suffices.
+type metrics struct {
+	jobsQueued  atomic.Int64 // gauge: jobs waiting in the FIFO queue
+	jobsRunning atomic.Int64 // gauge: jobs currently executing (0 or 1)
+
+	jobsDone      atomic.Int64 // counters: terminal-state totals
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	jobsRejected  atomic.Int64 // queue-full 429s
+	jobsRecovered atomic.Int64 // jobs rebuilt from recordings at startup
+
+	missions atomic.Int64                  // completed missions across all jobs
+	outcomes [qof.NumOutcomes]atomic.Int64 // per-outcome mission counters
+
+	busyMicros atomic.Int64 // cumulative job execution time, µs
+}
+
+// countMission records one finished mission.
+func (m *metrics) countMission(out qof.Outcome) {
+	m.missions.Add(1)
+	if 0 <= int(out) && int(out) < len(m.outcomes) {
+		m.outcomes[out].Add(1)
+	}
+}
+
+// render emits the Prometheus text form. Every outcome label is emitted even
+// at zero so scrapes see a stable series set from the first sample.
+func (m *metrics) render() string {
+	var b strings.Builder
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("mavfi_jobs_queued", "Jobs waiting in the FIFO queue.", m.jobsQueued.Load())
+	gauge("mavfi_jobs_running", "Jobs currently executing.", m.jobsRunning.Load())
+	counter("mavfi_jobs_done_total", "Jobs that completed successfully.", m.jobsDone.Load())
+	counter("mavfi_jobs_failed_total", "Jobs that ended in an error.", m.jobsFailed.Load())
+	counter("mavfi_jobs_canceled_total", "Jobs canceled by request.", m.jobsCanceled.Load())
+	counter("mavfi_jobs_rejected_total", "Submissions rejected because the queue was full.", m.jobsRejected.Load())
+	counter("mavfi_jobs_recovered_total", "Jobs rebuilt from recordings at startup.", m.jobsRecovered.Load())
+	counter("mavfi_missions_total", "Missions completed across all jobs.", m.missions.Load())
+
+	fmt.Fprintf(&b, "# HELP mavfi_mission_outcomes_total Missions by outcome.\n# TYPE mavfi_mission_outcomes_total counter\n")
+	for out := qof.Outcome(0); int(out) < qof.NumOutcomes; out++ {
+		fmt.Fprintf(&b, "mavfi_mission_outcomes_total{outcome=%q} %d\n", out.String(), m.outcomes[out].Load())
+	}
+
+	rate := 0.0
+	if busy := float64(m.busyMicros.Load()) / 1e6; busy > 0 {
+		rate = float64(m.missions.Load()) / busy
+	}
+	fmt.Fprintf(&b, "# HELP mavfi_missions_per_second Missions per second of job execution time.\n# TYPE mavfi_missions_per_second gauge\nmavfi_missions_per_second %g\n", rate)
+	return b.String()
+}

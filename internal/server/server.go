@@ -1,0 +1,306 @@
+// Package server implements the mavfi campaign service: a long-running HTTP
+// server that accepts campaign jobs, executes them on the campaign worker
+// pool behind a bounded FIFO queue, streams per-mission results as they
+// complete, and serves the finished cell in the exact CSV schema the
+// `mavfi matrix` CLI emits.
+//
+// The service adds no simulation code of its own. A job is a single-cell
+// matrix.Spec executed by matrix.RunOn against a process-lifetime warm-asset
+// cache — literally the code path the CLI runs — so a served job's mission
+// results and CSV artifacts are byte-identical to the equivalent CLI
+// invocation at any worker width. That determinism contract is what the
+// server's test harness (and the CI server-smoke job) enforce.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mavfi/internal/campaign/matrix"
+	"mavfi/internal/qof"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Queue bounds the FIFO job queue; submissions beyond it are rejected
+	// with 429 (default 16).
+	Queue int
+	// Workers sizes the campaign worker pool each job runs on
+	// (0 = campaign.DefaultWorkers). Worker width never changes results —
+	// the determinism-by-construction invariant — only wall-clock time.
+	Workers int
+	// RecordDir, when set, is where recorded jobs persist their mission
+	// recordings and job manifest; on startup the server recovers finished
+	// jobs found there without re-simulating them.
+	RecordDir string
+	// Deadline is the per-mission wall-clock budget applied to every job
+	// (0 = none). Missions over budget are abandoned with the
+	// DeadlineExceeded outcome, keeping one wedged mission from pinning the
+	// queue.
+	Deadline time.Duration
+	// WarmWorlds lists environments to build at startup so the first job
+	// doesn't pay world construction.
+	WarmWorlds []string
+}
+
+// Server is the campaign service. Create with New, expose via Handler, stop
+// with Close.
+type Server struct {
+	cfg    Config
+	assets *matrix.Assets
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // submission/recovery order, for GET /jobs
+	next  int      // next job ID ordinal
+
+	queue chan *Job
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	metrics metrics
+}
+
+// New builds a Server: recovers recorded jobs from cfg.RecordDir (if set),
+// warms the requested worlds, and starts the single executor goroutine that
+// drains the job queue in FIFO order.
+func New(cfg Config) (*Server, error) {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 16
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		assets: matrix.NewAssets(),
+		jobs:   make(map[string]*Job),
+		queue:  make(chan *Job, cfg.Queue),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for _, w := range cfg.WarmWorlds {
+		if _, err := s.assets.World(w); err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: warming world: %w", err)
+		}
+	}
+	if cfg.RecordDir != "" {
+		if err := s.recoverJobs(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.executor()
+	return s, nil
+}
+
+// Close stops the executor, cancels any running job, and waits for it to
+// unwind. Queued-but-unstarted jobs are marked canceled.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.metrics.jobsQueued.Add(-1)
+			s.metrics.jobsCanceled.Add(1)
+			j.finish(JobCanceled, "server shut down", nil)
+		default:
+			return
+		}
+	}
+}
+
+// Submit validates spec, assigns an ID, and enqueues the job. It returns
+// errQueueFull (without consuming an ID) when the queue is at capacity, and
+// a validation error for malformed specs.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	spec = spec.normalized()
+	mspec, err := spec.matrixSpec()
+	if err != nil {
+		return nil, err
+	}
+	cells := matrix.Cells(mspec)
+	if len(cells) != 1 {
+		return nil, fmt.Errorf("server: job spec expands to %d cells, want 1", len(cells))
+	}
+	if spec.Record && s.cfg.RecordDir == "" {
+		return nil, fmt.Errorf("server: job asks for recording but the server has no -record-dir")
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := fmt.Sprintf("job-%04d", s.next+1)
+	var recordDir string
+	if spec.Record {
+		recordDir = filepath.Join(s.cfg.RecordDir, id)
+	}
+	j := newJob(id, spec, cells[0], recordDir)
+	select {
+	case s.queue <- j:
+	default:
+		s.metrics.jobsRejected.Add(1)
+		return nil, errQueueFull
+	}
+	s.next++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.metrics.jobsQueued.Add(1)
+	if recordDir != "" {
+		if err := s.writeManifest(j); err != nil {
+			// The job still runs; it just won't be recoverable.
+			j.mu.Lock()
+			j.recordDir = ""
+			j.mu.Unlock()
+		}
+	}
+	return j, nil
+}
+
+// errQueueFull rejects a submission when the FIFO queue is at capacity.
+var errQueueFull = fmt.Errorf("server: job queue is full")
+
+// Job returns the job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job's status in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job is finished as canceled on
+// dequeue; a running job has its context canceled and finishes as canceled
+// when the worker pool unwinds. Returns false for unknown or already
+// terminal jobs.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() || j.cancelled {
+		return false
+	}
+	j.cancelled = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// executor is the single queue-draining goroutine: strict FIFO, one job at a
+// time, so a job owns the full worker pool while it runs.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.metrics.jobsQueued.Add(-1)
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one dequeued job through matrix.RunOn on the shared warm
+// assets and moves it to its terminal state.
+func (s *Server) runJob(j *Job) {
+	j.mu.Lock()
+	if j.cancelled {
+		j.mu.Unlock()
+		s.metrics.jobsCanceled.Add(1)
+		j.finish(JobCanceled, "canceled while queued", nil)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	j.state = JobRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	s.metrics.jobsRunning.Add(1)
+	start := time.Now()
+	defer func() {
+		s.metrics.jobsRunning.Add(-1)
+		s.metrics.busyMicros.Add(time.Since(start).Microseconds())
+	}()
+
+	spec, err := j.Spec.matrixSpec()
+	if err != nil { // validated at submit; unreachable in practice
+		s.metrics.jobsFailed.Add(1)
+		j.finish(JobFailed, err.Error(), nil)
+		return
+	}
+	spec.Workers = s.cfg.Workers
+	spec.Deadline = s.cfg.Deadline
+	spec.RecordDir = j.recordDir
+	spec.OnMission = func(i int, m qof.Metrics) {
+		s.metrics.countMission(m.Outcome)
+		j.publish(newMissionEvent(j.Cell, i, m))
+	}
+
+	res, err := matrix.RunOn(ctx, spec, s.assets)
+	switch {
+	case err != nil && ctx.Err() != nil:
+		s.metrics.jobsCanceled.Add(1)
+		j.finish(JobCanceled, "canceled", nil)
+	case err != nil:
+		s.metrics.jobsFailed.Add(1)
+		j.finish(JobFailed, err.Error(), nil)
+	default:
+		if res.RecordErr != nil {
+			// Results are complete; only persistence is degraded. Surface
+			// it in the status error field without failing the job.
+			s.metrics.jobsDone.Add(1)
+			j.finish(JobDone, fmt.Sprintf("recording incomplete: %v", res.RecordErr), res)
+			return
+		}
+		s.metrics.jobsDone.Add(1)
+		j.finish(JobDone, "", res)
+	}
+}
+
+// manifest is the persisted job.json: enough to re-identify a recorded job
+// after a restart.
+type manifest struct {
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+}
+
+// writeManifest creates the job's recording directory and persists its
+// manifest.
+func (s *Server) writeManifest(j *Job) error {
+	if err := os.MkdirAll(j.recordDir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(manifest{ID: j.ID, Spec: j.Spec}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(j.recordDir, "job.json"), append(b, '\n'), 0o644)
+}
