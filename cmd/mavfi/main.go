@@ -261,6 +261,9 @@ func runMatrix(argv []string) {
 		maxMission = fs.Float64("max-mission", 0, "mission time budget in sim seconds (0 = pipeline default)")
 		deadline   = fs.Duration("deadline", 0, "per-mission wall-clock deadline (0 = none; breaks byte-identity)")
 		csvDir     = fs.String("csv-dir", "", "write per-cell and summary CSVs under DIR")
+		mapSeed    = fs.String("map-seed", "off", "golden-map mode: off (exact), seed (fork a precomputed map per mission), or memo (seed plus saturated-evidence ray skipping)")
+		nearStride = fs.Int("near-stride", 0, "near-field ray subsampling stride (0 or 1 = off; >1 is approximate mode)")
+		fidelity   = fs.Bool("fidelity", false, "run the fidelity study: the whole matrix at each approximate-mode ladder setting, emitting per-cell paper-figure deltas (ignores -map-seed/-near-stride)")
 	)
 	fs.Parse(argv)
 
@@ -289,22 +292,41 @@ func runMatrix(argv []string) {
 	}
 
 	spec := matrix.Spec{
-		Worlds:      splitList(*worlds),
-		Targets:     targets,
-		Severities:  sevs,
-		Detectors:   splitList(*detectors),
-		Recoveries:  recs,
-		Runs:        *runs,
-		Seed:        *seed,
-		MaxMissionS: *maxMission,
-		TrainEnvs:   *train,
-		Workers:     *workers,
-		Deadline:    *deadline,
+		Worlds:          splitList(*worlds),
+		Targets:         targets,
+		Severities:      sevs,
+		Detectors:       splitList(*detectors),
+		Recoveries:      recs,
+		Runs:            *runs,
+		Seed:            *seed,
+		MaxMissionS:     *maxMission,
+		TrainEnvs:       *train,
+		Workers:         *workers,
+		Deadline:        *deadline,
+		MapSeed:         *mapSeed,
+		NearFieldStride: *nearStride,
 		Progress: func(done, total int) {
 			if done%50 == 0 || done == total {
 				fmt.Printf("missions %d/%d\n", done, total)
 			}
 		},
+	}
+	if *fidelity {
+		study, err := matrix.FidelityStudy(context.Background(), spec, matrix.DefaultFidelityLadder(), nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := study.WriteCSV(*csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, "writing fidelity CSV:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote fidelity.csv under %s\n", *csvDir)
+			return
+		}
+		fmt.Print(study.CSV())
+		return
 	}
 	res, err := matrix.Run(context.Background(), spec)
 	if err != nil {

@@ -3,12 +3,15 @@ package matrix
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"mavfi/internal/campaign"
 	"mavfi/internal/detect"
 	"mavfi/internal/env"
 	"mavfi/internal/faultinject"
+	"mavfi/internal/octomap"
 	"mavfi/internal/pipeline"
 	"mavfi/internal/platform"
 )
@@ -37,6 +40,8 @@ type Assets struct {
 	counters  map[counterKey]*faultinject.Counter
 	training  map[trainKey][][detect.NumStates]float64
 	detectors map[detectorKey]func() detect.Detector
+	seeds     map[string]*pipeline.MapSeed
+	seedDir   string
 }
 
 // counterKey identifies one kernel-calibration run: the calibration mission
@@ -67,7 +72,57 @@ func NewAssets() *Assets {
 		counters:  make(map[counterKey]*faultinject.Counter),
 		training:  make(map[trainKey][][detect.NumStates]float64),
 		detectors: make(map[detectorKey]func() detect.Detector),
+		seeds:     make(map[string]*pipeline.MapSeed),
 	}
+}
+
+// SetSeedDir enables golden-map persistence under dir: MapSeed loads cached
+// snapshot files from it before building, and writes freshly built seeds
+// back (best-effort — a write failure just means the next restart rebuilds).
+// The campaign server points this at <record-dir>/mapseeds so restart
+// recovery skips seed construction along with everything else.
+func (a *Assets) SetSeedDir(dir string) {
+	a.mu.Lock()
+	a.seedDir = dir
+	a.mu.Unlock()
+}
+
+// MapSeed returns the golden map for the named world, building it with
+// pipeline.BuildMapSeed on first use (or loading it from the seed directory
+// when one is set and holds a valid snapshot for the world's geometry). A
+// cache or disk hit is bit-identical to a fresh build: BuildMapSeed is a
+// deterministic pure function of the world, and loaded snapshots are
+// digest-checked by the reader and geometry-checked against the world here.
+func (a *Assets) MapSeed(world string) (*pipeline.MapSeed, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if s, ok := a.seeds[world]; ok {
+		return s, nil
+	}
+	w, err := a.worldLocked(world)
+	if err != nil {
+		return nil, err
+	}
+	path := ""
+	if a.seedDir != "" {
+		path = filepath.Join(a.seedDir, world+".mapseed")
+		if snap, err := octomap.ReadSnapshotFile(path); err == nil {
+			if s, err := pipeline.NewMapSeed(w, snap); err == nil {
+				a.seeds[world] = s
+				return s, nil
+			}
+			// Geometry mismatch: a stale file from an older world layout.
+			// Fall through and rebuild over it.
+		}
+	}
+	s := pipeline.BuildMapSeed(w)
+	if path != "" {
+		if err := os.MkdirAll(a.seedDir, 0o755); err == nil {
+			_ = octomap.WriteSnapshotFile(path, s.Snapshot())
+		}
+	}
+	a.seeds[world] = s
+	return s, nil
 }
 
 // World returns the named standard environment, building it on first use.

@@ -208,6 +208,21 @@ type Spec struct {
 	// Recoveries is the recovery axis for detector-bearing cells (default
 	// [true]); "none" cells always collapse to a single recovery-less entry.
 	Recoveries []bool
+	// MapSeed selects the golden-map mode: "off" (default; every mission
+	// builds its octree from scratch, bit-identical to all prior PRs),
+	// "seed" (approximate mode: one deterministic golden map per world,
+	// built before the fan-out and forked at each mission start), or
+	// "memo" ("seed" plus saturated-evidence memoization: rays whose
+	// endpoint evidence is already clamped skip integration entirely —
+	// the headline approximate mode). The mode is deliberately NOT part
+	// of Cell.Name: flipping it never reshuffles cell seeds or fault
+	// schedules, so exact and seeded runs of one spec are the same
+	// missions on different starting maps — which is what the fidelity
+	// study compares.
+	MapSeed string
+	// NearFieldStride, when > 1, forwards pipeline.Config.NearFieldStride
+	// to every mission (approximate mode: near-field ray subsampling).
+	NearFieldStride int
 	// Runs is the number of missions per cell (default 4).
 	Runs int
 	// Seed is the matrix seed every cell and mission seed derives from.
@@ -258,6 +273,9 @@ func (s Spec) normalized() Spec {
 	}
 	if len(s.Recoveries) == 0 {
 		s.Recoveries = []bool{true}
+	}
+	if s.MapSeed == "" {
+		s.MapSeed = "off"
 	}
 	if s.Runs <= 0 {
 		s.Runs = 4
@@ -413,8 +431,17 @@ func RunOn(ctx context.Context, spec Spec, assets *Assets) (*Result, error) {
 	if assets == nil {
 		assets = NewAssets()
 	}
+	switch spec.MapSeed {
+	case "off", "seed", "memo":
+	default:
+		return nil, fmt.Errorf("matrix: unknown map-seed mode %q (have off, seed, memo)", spec.MapSeed)
+	}
+	if spec.NearFieldStride < 0 {
+		return nil, fmt.Errorf("matrix: negative near-field stride %d", spec.NearFieldStride)
+	}
 
 	worlds := make(map[string]*env.World, len(spec.Worlds))
+	seeds := make(map[string]*pipeline.MapSeed, len(spec.Worlds))
 	for _, name := range spec.Worlds {
 		if _, ok := worlds[name]; ok {
 			continue
@@ -424,6 +451,16 @@ func RunOn(ctx context.Context, spec Spec, assets *Assets) (*Result, error) {
 			return nil, err
 		}
 		worlds[name] = w
+		if spec.MapSeed != "off" {
+			// Golden maps are built (or loaded from the asset cache)
+			// sequentially before the fan-out: every worker forks the same
+			// immutable snapshot, so worker width stays unobservable.
+			s, err := assets.MapSeed(name)
+			if err != nil {
+				return nil, err
+			}
+			seeds[name] = s
+		}
 	}
 
 	needKernel := false
@@ -488,9 +525,12 @@ func RunOn(ctx context.Context, spec Spec, assets *Assets) (*Result, error) {
 		ci, j := i/spec.Runs, i%spec.Runs
 		cell := cells[ci]
 		cfg := pipeline.Config{
-			World:       worlds[cell.World],
-			Seed:        campaign.MissionSeed(cell.Seed, j),
-			MaxMissionS: spec.MaxMissionS,
+			World:           worlds[cell.World],
+			Seed:            campaign.MissionSeed(cell.Seed, j),
+			MaxMissionS:     spec.MaxMissionS,
+			MapSeed:         seeds[cell.World], // nil in "off" mode
+			NearFieldStride: spec.NearFieldStride,
+			MemoSkip:        spec.MapSeed == "memo",
 		}
 		cfg.SetFault(plans[ci][j])
 		if mk := factories[cell.Detector]; mk != nil {

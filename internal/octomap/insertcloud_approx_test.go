@@ -1,0 +1,150 @@
+package octomap
+
+import (
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// saturate drives one voxel to its clamp through the public evidence path:
+// repeated hits clamp to ClampMax, repeated misses to ClampMin.
+func saturate(t *Tree, p geom.Vec3, occupied bool) {
+	for i := 0; i < 12; i++ {
+		if occupied {
+			t.MarkOccupied(p)
+		} else {
+			t.MarkFree(p)
+		}
+	}
+}
+
+// TestInsertCloudApproxOffIsInsertCloud pins the exact-mode contract: with
+// stride <= 1 and memo off, InsertCloudApprox IS InsertCloud bit-for-bit,
+// for every (stride, memo) spelling of "off".
+func TestInsertCloudApproxOffIsInsertCloud(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(16, 16, 16))
+	for _, stride := range []int{-1, 0, 1} {
+		rng := rand.New(rand.NewSource(21))
+		ref := New(bounds, 0.5, DefaultParams())
+		app := New(bounds, 0.5, DefaultParams())
+		for scan := 0; scan < 4; scan++ {
+			origin := geom.V(rng.Float64()*16, rng.Float64()*16, rng.Float64()*16)
+			pts := randomScan(rng, origin, 60)
+			ref.InsertCloud(origin, pts)
+			app.InsertCloudApprox(origin, pts, 3, stride, false)
+		}
+		compareTrees(t, ref, app)
+		if ref.Digest() != app.Digest() {
+			t.Fatalf("stride %d: digest diverges in off mode", stride)
+		}
+	}
+}
+
+// TestMemoSkipsSaturatedConfirmations pins the memoization rule on both
+// evidence polarities: a ray whose endpoint is already clamped in the
+// direction of its own evidence is a complete no-op, while the same ray
+// against an unsaturated endpoint integrates exactly like InsertCloud.
+func TestMemoSkipsSaturatedConfirmations(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(16, 16, 16))
+	origin := geom.V(1.25, 1.25, 1.25)
+	wall := geom.V(9.25, 1.25, 1.25)
+	air := geom.V(1.25, 9.25, 1.25)
+
+	tr := New(bounds, 0.5, DefaultParams())
+	saturate(tr, wall, true)
+	saturate(tr, air, false)
+	before := tr.Digest()
+	upd := tr.LeafUpdates()
+
+	// Confirming rays into both clamped endpoints: nothing may change —
+	// not even the free-space carve along the way.
+	tr.InsertCloudApprox(origin, []RayPoint{
+		{End: wall, Hit: true},
+		{End: air, Hit: false},
+	}, 0, 0, true)
+	if tr.Digest() != before {
+		t.Fatal("memo integrated a fully-confirmed ray")
+	}
+	if tr.LeafUpdates() != upd {
+		t.Fatalf("memo applied %d leaf updates for saturated rays", tr.LeafUpdates()-upd)
+	}
+
+	// The same scan against a fresh tree is novel everywhere and must match
+	// exact insertion bit-for-bit.
+	ref := New(bounds, 0.5, DefaultParams())
+	app := New(bounds, 0.5, DefaultParams())
+	scan := []RayPoint{{End: wall, Hit: true}, {End: air, Hit: false}}
+	ref.InsertCloud(origin, scan)
+	app.InsertCloudApprox(origin, scan, 0, 0, true)
+	compareTrees(t, ref, app)
+}
+
+// TestMemoNeverSkipsNovelty pins the safety half of the lever: evidence
+// that disagrees with the clamp — an intruder appearing in known-free
+// space, or a mapped wall no longer echoing — always integrates.
+func TestMemoNeverSkipsNovelty(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(16, 16, 16))
+	origin := geom.V(1.25, 1.25, 1.25)
+	spot := geom.V(9.25, 1.25, 1.25)
+
+	// Intruder: the voxel is clamped free, the new ray HITS it.
+	free := New(bounds, 0.5, DefaultParams())
+	saturate(free, spot, false)
+	before := free.Digest()
+	free.InsertCloudApprox(origin, []RayPoint{{End: spot, Hit: true}}, 0, 0, true)
+	if free.Digest() == before {
+		t.Fatal("memo skipped a hit into clamped-free space")
+	}
+
+	// Vanished wall: the voxel is clamped occupied, the new ray passes
+	// through to max range.
+	occ := New(bounds, 0.5, DefaultParams())
+	saturate(occ, spot, true)
+	before = occ.Digest()
+	occ.InsertCloudApprox(origin, []RayPoint{{End: spot, Hit: false}}, 0, 0, true)
+	if occ.Digest() == before {
+		t.Fatal("memo skipped a miss through clamped-occupied space")
+	}
+
+	// Out-of-bounds endpoints are never "saturated": the ray integrates
+	// (clipped) exactly as InsertCloud would.
+	ref := New(bounds, 0.5, DefaultParams())
+	app := New(bounds, 0.5, DefaultParams())
+	out := []RayPoint{{End: geom.V(40, 1.25, 1.25), Hit: false}}
+	ref.InsertCloud(origin, out)
+	app.InsertCloudApprox(origin, out, 0, 0, true)
+	compareTrees(t, ref, app)
+}
+
+// TestMemoComposesWithStride runs both levers together over randomized
+// scans against a lever-free control, checking the composition invariant
+// that matters: every endpoint the approximate tree knows agrees in
+// classification with the control wherever the control is also known, and
+// no approximate insertion ever applies MORE leaf updates than exact mode.
+func TestMemoComposesWithStride(t *testing.T) {
+	bounds := geom.Box(geom.V(0, 0, 0), geom.V(16, 16, 16))
+	rng := rand.New(rand.NewSource(33))
+	ref := New(bounds, 0.5, DefaultParams())
+	app := New(bounds, 0.5, DefaultParams())
+	for scan := 0; scan < 12; scan++ {
+		origin := geom.V(2+rng.Float64()*12, 2+rng.Float64()*12, 2+rng.Float64()*12)
+		pts := randomScan(rng, origin, 80)
+		ref.InsertCloud(origin, pts)
+		app.InsertCloudApprox(origin, pts, 3, 2, true)
+		for _, p := range pts {
+			if !p.Hit {
+				continue
+			}
+			// Hits are never dropped: the endpoint voxel must not read
+			// Free in the approximate tree once exact mode has evidence.
+			if ref.At(p.End) == Occupied && app.At(p.End) == Free {
+				t.Fatalf("scan %d: approximate tree lost a hit at %v", scan, p.End)
+			}
+		}
+	}
+	if app.LeafUpdates() > ref.LeafUpdates() {
+		t.Fatalf("approximate mode applied more updates than exact: %d > %d",
+			app.LeafUpdates(), ref.LeafUpdates())
+	}
+}

@@ -1,0 +1,77 @@
+package octomap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// FuzzSnapshotRead throws mutated snapshot bytes at ReadSnapshot. The
+// contract under test mirrors the record reader's: never panic, never
+// allocate proportionally to a declared-but-absent node count (the PR 8
+// readFrame allocation-bomb rule), and reject anything short of an intact
+// snapshot with a typed error. Anything accepted must be internally
+// consistent: it forks into a usable tree with valid child links, and it
+// round-trips through WriteTo byte-for-byte.
+func FuzzSnapshotRead(f *testing.F) {
+	base := newTestTree()
+	// One short scan keeps the seed entry small enough for fast mutation.
+	base.InsertCloud(geom.V(8, 8, 4), randomScan(rand.New(rand.NewSource(42)), geom.V(8, 8, 4), 8))
+	var buf bytes.Buffer
+	if _, err := base.Snapshot().WriteTo(&buf); err != nil {
+		f.Fatalf("seeding snapshot: %v", err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(SnapshotMagic)+1]) // magic+version only
+	f.Add(valid[:len(valid)/2])         // mid-arena truncation
+	f.Add(valid[:len(valid)-4])         // clipped digest footer
+	badVer := append([]byte(nil), valid...)
+	badVer[len(SnapshotMagic)] = 99
+	f.Add(badVer)
+	huge := append([]byte(nil), valid...)
+	countOff := len(SnapshotMagic) + 1 + 5*8 + 4 + 5*8 + 3*4 + 8
+	huge[countOff+3] = 0x07 // declares ~134M nodes with no payload behind them
+	f.Add(huge)
+	var empty bytes.Buffer
+	if _, err := newTestTree().Snapshot().WriteTo(&empty); err != nil {
+		f.Fatalf("seeding empty snapshot: %v", err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte("NOTASEED!"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		s, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			if s != nil {
+				t.Fatal("non-nil snapshot alongside an error")
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("nil snapshot with nil error")
+		}
+		// Accepted snapshots must be safe to fork and query: validated child
+		// links mean this walk cannot index out of the arena.
+		tr := s.Fork()
+		tr.At(s.origin)
+		d := tr.Digest()
+		if d != s.Digest() {
+			t.Fatal("fork digest disagrees with snapshot digest")
+		}
+		// And must re-serialize to the exact accepted bytes.
+		var out bytes.Buffer
+		if _, err := s.WriteTo(&out); err != nil {
+			t.Fatalf("re-serializing accepted snapshot: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatal("accepted snapshot does not round-trip byte-identically")
+		}
+	})
+}

@@ -1,0 +1,467 @@
+package octomap
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mavfi/internal/geom"
+)
+
+// seedInsertions replays a deterministic insertion history onto tr: the
+// "mapping pass" the fork equivalence tests share between the snapshot/fork
+// path and the rebuild-from-scratch reference path.
+func seedInsertions(tr *Tree, seed int64, rounds int) {
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < rounds; s++ {
+		origin := randomInteriorPoint(rng)
+		tr.InsertCloud(origin, randomScan(rng, origin, 70))
+	}
+}
+
+// TestForkThenInsertMatchesRebuildBitExact is the core fork equivalence
+// gate: a tree forked from a snapshot and then mutated must be byte-identical
+// (node structure, log-odds bits, summary counts, leaf-update accounting,
+// digest) to a fresh tree that received the seed insertions followed by the
+// same mutations — the fork adds nothing and loses nothing.
+func TestForkThenInsertMatchesRebuildBitExact(t *testing.T) {
+	base := newTestTree()
+	seedInsertions(base, 101, 5)
+	snap := base.Snapshot()
+	snapDigest := snap.Digest()
+
+	fork := snap.Fork()
+	rebuild := newTestTree()
+	seedInsertions(rebuild, 101, 5)
+
+	if fork.Digest() != rebuild.Digest() {
+		t.Fatal("freshly forked tree digest differs from the rebuilt seed pass")
+	}
+
+	// Identical post-fork mutations on both.
+	seedInsertions(fork, 202, 3)
+	seedInsertions(rebuild, 202, 3)
+
+	compareTrees(t, fork, rebuild)
+	if fork.LeafUpdates() != rebuild.LeafUpdates() {
+		t.Fatalf("leaf updates diverge: fork %d, rebuild %d", fork.LeafUpdates(), rebuild.LeafUpdates())
+	}
+	if got, want := fork.Digest(), rebuild.Digest(); got != want {
+		t.Fatalf("digest diverges after identical mutations: fork %016x, rebuild %016x", got, want)
+	}
+	assertSummaryExact(t, fork, "forked tree after mutations")
+
+	// The snapshot is immutable: mutating the fork never writes back.
+	if snap.Digest() != snapDigest {
+		t.Fatal("mutating a fork changed the snapshot")
+	}
+	if refork := snap.Fork(); refork.Digest() != snapDigest {
+		t.Fatal("a later fork does not reproduce the snapshot")
+	}
+}
+
+// TestForkIntoRecycledTreeBitExact pins the pooled path: ForkInto onto a
+// dirty, structurally different tree (different map content, warm descent
+// caches, armed classification cache) must produce exactly the state Fork
+// produces into a fresh tree, and further identical mutations must keep the
+// two bit-identical.
+func TestForkIntoRecycledTreeBitExact(t *testing.T) {
+	base := newTestTree()
+	seedInsertions(base, 303, 4)
+	snap := base.Snapshot()
+
+	// A recycled tree with unrelated content and every cache warm.
+	recycled := newTestTree()
+	seedInsertions(recycled, 999, 6)
+	recycled.EnableClassCache()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		recycled.At(randomInteriorPoint(rng))
+	}
+
+	snap.ForkInto(recycled)
+	fresh := snap.Fork()
+	compareTrees(t, recycled, fresh)
+	if recycled.Digest() != fresh.Digest() {
+		t.Fatal("ForkInto onto a recycled tree differs from a fresh Fork")
+	}
+
+	seedInsertions(recycled, 404, 2)
+	seedInsertions(fresh, 404, 2)
+	compareTrees(t, recycled, fresh)
+	if recycled.Digest() != fresh.Digest() {
+		t.Fatal("recycled and fresh forks diverge under identical mutations")
+	}
+	assertSummaryExact(t, recycled, "recycled fork after mutations")
+}
+
+// TestForkClassCacheTransparent pins the class-cache epoch behaviour after a
+// fork: a recycled tree whose grid is full of pre-fork classifications must
+// answer every post-fork query exactly as an uncached control does, through
+// further mutations (which bump epochs from the restarted counter) and
+// across both the classify and classProbe read paths.
+func TestForkClassCacheTransparent(t *testing.T) {
+	base := newTestTree()
+	seedInsertions(base, 505, 4)
+	snap := base.Snapshot()
+
+	cached := newTestTree()
+	seedInsertions(cached, 111, 5) // unrelated map the cache memoises
+	cached.EnableClassCache()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		cached.At(randomInteriorPoint(rng))
+	}
+
+	snap.ForkInto(cached)
+	control := snap.Fork() // never arms its cache
+
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 150; i++ {
+			p := randomInteriorPoint(rng)
+			if got, want := cached.At(p), control.At(p); got != want {
+				t.Fatalf("round %d: cached At(%v) = %v, uncached control = %v", round, p, got, want)
+			}
+			a, b := randomInteriorPoint(rng), randomInteriorPoint(rng)
+			if got, want := cached.SegmentFree(a, b, q), control.SegmentFree(a, b, q); got != want {
+				t.Fatalf("round %d: cached SegmentFree = %v, control = %v", round, got, want)
+			}
+		}
+		// Mutate both identically; the fork's mutation counter runs from 0.
+		seedInsertions(cached, int64(600+round), 1)
+		seedInsertions(control, int64(600+round), 1)
+	}
+}
+
+// TestForkMidEpochWrapRegression is the satellite-4 regression: fork into a
+// recycled tree whose classification cache sits at the last epoch before the
+// 6-bit wrap (63). Retiring that epoch on fork must clear the grid, because
+// the post-wrap epoch restarts at 1 — the same stamp long-stale entries may
+// still carry. Without the clear, a voxel classified under the old map would
+// be served verbatim on the new one.
+func TestForkMidEpochWrapRegression(t *testing.T) {
+	// Old map: voxel v is Free (carved by a ray straight through it).
+	v := geom.V(10.25, 10.25, 4.25)
+	old := newTestTree()
+	old.InsertRay(geom.V(2.25, 10.25, 4.25), geom.V(20.25, 10.25, 4.25), false)
+
+	// New map: the same voxel is solidly Occupied.
+	next := newTestTree()
+	for i := 0; i < 4; i++ {
+		next.MarkOccupied(v)
+	}
+	snap := next.Snapshot()
+
+	old.EnableClassCache()
+	if old.At(v) != Free {
+		t.Fatal("setup: voxel not Free on the old map")
+	}
+	// The entry for v is now stamped with the current epoch. Rewind the
+	// stamp to epoch 1 (a long-stale entry the intervening epochs never
+	// overwrote), then advance the cache to the pre-wrap edge.
+	x, y, z, ok := old.key(v)
+	if !ok {
+		t.Fatal("setup: voxel keys outside the volume")
+	}
+	c := &old.cls
+	idx := (z*c.ny+y)*c.nx + x
+	c.grid[idx] = 1<<2 | uint8(Free)
+	c.epoch = 63
+	c.mut = old.mut
+
+	snap.ForkInto(old)
+	if got := old.At(v); got != Occupied {
+		t.Fatalf("post-fork classification served a stale pre-wrap cache entry: got %v, want Occupied", got)
+	}
+	// And the epoch actually wrapped the way classify's own wrap does.
+	if old.cls.epoch != 1 {
+		t.Fatalf("fork across the epoch wrap left epoch %d, want 1", old.cls.epoch)
+	}
+}
+
+// TestForkPrescanExactUnderUnknownIsFree pins the bundleAllFree prescan on
+// forked trees: under the optimistic policy the prescan consults the summary
+// counts the fork copied, and its answers must match both an uncached
+// control fork and the summary recount oracle while the forked tree keeps
+// mutating.
+func TestForkPrescanExactUnderUnknownIsFree(t *testing.T) {
+	base := newTestTree()
+	seedInsertions(base, 707, 5)
+	snap := base.Snapshot()
+
+	fork := snap.Fork()
+	control := snap.Fork()
+	control.EnableClassCache()
+
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 4; round++ {
+		assertSummaryExact(t, fork, "forked tree prescan round")
+		for i := 0; i < 120; i++ {
+			a, b := randomInteriorPoint(rng), randomInteriorPoint(rng)
+			if got, want := fork.SegmentFree(a, b, q), control.SegmentFree(a, b, q); got != want {
+				t.Fatalf("round %d: fork SegmentFree = %v, control = %v", round, got, want)
+			}
+			gd, gok := fork.FirstBlocked(a, b, q)
+			wd, wok := control.FirstBlocked(a, b, q)
+			if gok != wok || gd != wd {
+				t.Fatalf("round %d: fork FirstBlocked = (%v,%v), control = (%v,%v)", round, gd, gok, wd, wok)
+			}
+		}
+		seedInsertions(fork, int64(800+round), 1)
+		seedInsertions(control, int64(800+round), 1)
+	}
+}
+
+// TestForkRandomizedInterleavedProperty is the randomized property gate: a
+// forked tree and its rebuilt reference are driven through interleaved
+// insertions, markings, and queries — including re-snapshotting the fork
+// mid-history and chaining a second fork — and must stay bit-identical in
+// every observable at every step.
+func TestForkRandomizedInterleavedProperty(t *testing.T) {
+	rounds := 8
+	if testing.Short() {
+		rounds = 4
+	}
+	base := newTestTree()
+	seedInsertions(base, 909, 3)
+	snap := base.Snapshot()
+
+	fork := snap.Fork()
+	rebuild := newTestTree()
+	seedInsertions(rebuild, 909, 3)
+
+	rng := rand.New(rand.NewSource(13))
+	q := QueryPolicy{UnknownIsFree: true, Radius: 0.55}
+	qStrict := QueryPolicy{Radius: 0.55}
+	for round := 0; round < rounds; round++ {
+		switch round % 3 {
+		case 0:
+			origin := randomInteriorPoint(rng)
+			scan := randomScan(rng, origin, 50)
+			fork.InsertCloud(origin, scan)
+			rebuild.InsertCloud(origin, scan)
+		case 1:
+			for i := 0; i < 12; i++ {
+				p := randomInteriorPoint(rng)
+				fork.MarkOccupied(p)
+				rebuild.MarkOccupied(p)
+				if rng.Intn(2) == 0 {
+					fork.MarkFree(p)
+					rebuild.MarkFree(p)
+				}
+			}
+		case 2:
+			// Chain: snapshot the fork mid-history and continue on a fresh
+			// fork of it (the rebuild side continues unchanged — the chained
+			// fork must be transparent).
+			fork = fork.Snapshot().Fork()
+		}
+		for i := 0; i < 60; i++ {
+			p := randomInteriorPoint(rng)
+			if a, b := fork.At(p), rebuild.At(p); a != b {
+				t.Fatalf("round %d: At(%v) = %v vs %v", round, p, a, b)
+			}
+			fp, fk := fork.Prob(p)
+			rp, rk := rebuild.Prob(p)
+			if fp != rp || fk != rk {
+				t.Fatalf("round %d: Prob(%v) = (%v,%v) vs (%v,%v)", round, p, fp, fk, rp, rk)
+			}
+			a, b := randomInteriorPoint(rng), randomInteriorPoint(rng)
+			if fa, ra := fork.SegmentFree(a, b, q), rebuild.SegmentFree(a, b, q); fa != ra {
+				t.Fatalf("round %d: SegmentFree = %v vs %v", round, fa, ra)
+			}
+			if fa, ra := fork.SegmentFree(a, b, qStrict), rebuild.SegmentFree(a, b, qStrict); fa != ra {
+				t.Fatalf("round %d: strict SegmentFree = %v vs %v", round, fa, ra)
+			}
+		}
+		if fork.Digest() != rebuild.Digest() {
+			t.Fatalf("round %d: digests diverge", round)
+		}
+		assertSummaryExact(t, fork, "property round")
+	}
+}
+
+// TestSnapshotSerializationRoundTrip pins the wire format: a decoded
+// snapshot must digest identically to its source, fork into a bit-identical
+// tree (including the recounted summary), and survive the file helpers.
+func TestSnapshotSerializationRoundTrip(t *testing.T) {
+	base := newTestTree()
+	seedInsertions(base, 1111, 5)
+	snap := base.Snapshot()
+
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got.Digest() != snap.Digest() {
+		t.Fatal("round-tripped snapshot digest differs")
+	}
+	a, b := snap.Fork(), got.Fork()
+	compareTrees(t, a, b)
+	if a.LeafUpdates() != b.LeafUpdates() {
+		t.Fatalf("leaf updates diverge across serialization: %d vs %d", a.LeafUpdates(), b.LeafUpdates())
+	}
+	assertSummaryExact(t, b, "deserialized fork (recounted summary)")
+
+	path := filepath.Join(t.TempDir(), "seed.snap")
+	if err := WriteSnapshotFile(path, snap); err != nil {
+		t.Fatalf("WriteSnapshotFile: %v", err)
+	}
+	fromFile, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("ReadSnapshotFile: %v", err)
+	}
+	if fromFile.Digest() != snap.Digest() {
+		t.Fatal("file round trip digest differs")
+	}
+	if !fromFile.Matches(geom.Box(geom.V(0, 0, 0), geom.V(32, 32, 16)), 0.5) {
+		t.Fatal("file round trip lost the world geometry")
+	}
+	if fromFile.Matches(geom.Box(geom.V(0, 0, 0), geom.V(64, 64, 16)), 0.5) {
+		t.Fatal("Matches accepted a different world")
+	}
+}
+
+// TestSnapshotReadRejectsCorrupt drives the decoder through the corruption
+// taxonomy: wrong magic, unsupported version, truncation at every section
+// boundary, bit flips under the digest, and structurally invalid child links
+// with a forged (recomputed) digest. Every case must fail with the right
+// typed error and none may panic or over-allocate.
+func TestSnapshotReadRejectsCorrupt(t *testing.T) {
+	base := newTestTree()
+	seedInsertions(base, 1212, 2)
+	snap := base.Snapshot()
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		_, err := ReadSnapshot(bytes.NewReader(data))
+		if !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
+		}
+	}
+
+	check("empty", nil, ErrSnapshotTruncated)
+	badMagic := append([]byte("NOTASEED!"), valid[len(SnapshotMagic):]...)
+	check("bad magic", badMagic, ErrSnapshotMagic)
+	badVer := append([]byte(nil), valid...)
+	badVer[len(SnapshotMagic)] = 99
+	check("bad version", badVer, ErrSnapshotVersion)
+	check("truncated header", valid[:len(SnapshotMagic)+1+10], ErrSnapshotTruncated)
+	check("truncated nodes", valid[:len(valid)/2], ErrSnapshotTruncated)
+	check("missing footer", valid[:len(valid)-8], ErrSnapshotTruncated)
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(valid)/2] ^= 0x40
+	check("bit flip under digest", flipped, ErrSnapshotCorrupt)
+
+	// A declared node count far beyond the payload must fail as truncation
+	// (the io.CopyN growth rule), never as a giant allocation.
+	huge := append([]byte(nil), valid...)
+	countOff := len(SnapshotMagic) + 1 + 5*8 + 4 + 5*8 + 3*4 + 8
+	huge[countOff] = 0xff
+	huge[countOff+1] = 0xff
+	huge[countOff+2] = 0xff
+	huge[countOff+3] = 0x07 // ~134M nodes declared, payload unchanged
+	check("huge declared count", huge, ErrSnapshotTruncated)
+
+	// Forged structural corruption: break a child link, then recompute the
+	// digest so only the structural validation can catch it.
+	reforge := func(mutate func(body []byte)) []byte {
+		forged := append([]byte(nil), valid...)
+		body := forged[len(SnapshotMagic)+1 : len(forged)-8]
+		mutate(body)
+		h := fnvSum64(body)
+		putLE64(forged[len(forged)-8:], h)
+		return forged
+	}
+	headerLen := 5*8 + 4 + 5*8 + 3*4 + 8 + 4
+	check("out-of-range child link", reforge(func(body []byte) {
+		// First node's firstChild → beyond the arena.
+		putLE32(body[headerLen+8:], 1+8*1000000)
+	}), ErrSnapshotCorrupt)
+	check("misaligned child link", reforge(func(body []byte) {
+		putLE32(body[headerLen+8:], 2)
+	}), ErrSnapshotCorrupt)
+	check("zero nodes", reforge(func(body []byte) {
+		putLE32(body[headerLen-4:], 0)
+	}), ErrSnapshotCorrupt)
+	check("broken geometry", reforge(func(body []byte) {
+		putLE64(body[4*8:], 0x7ff8000000000001) // NaN rootSize
+	}), ErrSnapshotCorrupt)
+}
+
+// Tiny local codec helpers for the forgery cases.
+func putLE32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putLE64(b []byte, v uint64) {
+	putLE32(b, uint32(v))
+	putLE32(b[4:], uint32(v>>32))
+}
+
+func fnvSum64(b []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return h
+}
+
+// TestSnapshotForkDifferentWorldsThroughOnePool exercises ForkInto across
+// geometry changes (the pooled-tree worst case): alternating forks of two
+// different worlds through one recycled tree must always land bit-identical
+// to fresh forks.
+func TestSnapshotForkDifferentWorldsThroughOnePool(t *testing.T) {
+	small := newTestTree()
+	seedInsertions(small, 21, 3)
+	big := New(geom.Box(geom.V(0, 0, 0), geom.V(64, 64, 20)), 0.5, DefaultParams())
+	rng := rand.New(rand.NewSource(22))
+	for s := 0; s < 3; s++ {
+		origin := geom.V(rng.Float64()*60+2, rng.Float64()*60+2, rng.Float64()*16+2)
+		big.InsertCloud(origin, randomScan(rng, origin, 70))
+	}
+	snapSmall, snapBig := small.Snapshot(), big.Snapshot()
+
+	pooled := new(Tree)
+	for i := 0; i < 4; i++ {
+		snapSmall.ForkInto(pooled)
+		pooled.EnableClassCache()
+		pooled.At(geom.V(5, 5, 5))
+		if pooled.Digest() != snapSmall.Digest() {
+			t.Fatalf("iteration %d: pooled fork of small world diverges", i)
+		}
+		snapBig.ForkInto(pooled)
+		pooled.EnableClassCache()
+		pooled.At(geom.V(50, 50, 10))
+		if pooled.Digest() != snapBig.Digest() {
+			t.Fatalf("iteration %d: pooled fork of big world diverges", i)
+		}
+	}
+}
+
+// TestSnapshotFileBadPath covers the file-helper error paths.
+func TestSnapshotFileBadPath(t *testing.T) {
+	if _, err := ReadSnapshotFile(filepath.Join(t.TempDir(), "missing.snap")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: %v", err)
+	}
+	if err := WriteSnapshotFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.snap"), newTestTree().Snapshot()); err == nil {
+		t.Fatal("WriteSnapshotFile into a missing directory succeeded")
+	}
+}

@@ -101,6 +101,31 @@ type Config struct {
 	// from recovery efficacy.
 	DetectOnly bool
 
+	// MapSeed, when non-nil, starts the mission's octree from a fork of the
+	// golden-map snapshot instead of an empty map (approximate mode: the
+	// mission flies with prior knowledge of the world). nil is exact mode —
+	// the map is built from scratch, bit-identical to every PR before this
+	// machinery existed. Forking an EmptyMapSeed is also exact: the fork
+	// path itself is transparent (pinned by the golden-digest seed tests).
+	MapSeed *MapSeed
+	// NearFieldStride, when > 1, keeps only every Nth near-field ray per
+	// scan during octree insertion (rays whose endpoints land within
+	// nearFieldFrac of the camera range from the scan origin). Approximate
+	// mode: near-sensor voxels are revisited scan after scan, so dropping
+	// redundant confirmations cuts insertion work with bounded fidelity
+	// cost. 0 or 1 disables subsampling bit-identically.
+	NearFieldStride int
+	// MemoSkip, when true, skips integrating rays whose endpoint evidence
+	// is already clamped in the direction the ray would push it (a hit into
+	// a voxel at the upper log-odds clamp, a free endpoint at the lower
+	// clamp) — cross-mission memoization: on a map forked from a converged
+	// golden seed, re-confirming the prior campaign's evidence is a clamped
+	// no-op at the endpoint, so the whole carve is replaced by one memoised
+	// lookup. Novel observations (unknown endpoints, evidence disagreeing
+	// with the clamp) never match the skip test and integrate in full.
+	// Approximate mode; false disables the lever bit-identically.
+	MemoSkip bool
+
 	// Record enables trajectory recording into Result.Trace.
 	Record bool
 	// RecordStates enables per-tick recording of preprocessed monitored-

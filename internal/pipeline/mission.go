@@ -129,6 +129,11 @@ type runner struct {
 
 	windBase geom.Vec3
 
+	// nearRadius is the near-field radius for NearFieldStride ray
+	// subsampling (0 when the stride is off; InsertCloudApprox ignores
+	// it at stride <= 1).
+	nearRadius float64
+
 	// Per-mission scratch buffers for the perception hot path: the depth
 	// frame, the generated cloud, the octree scan batch, and the remaining-
 	// trajectory positions are reused every tick, keeping the steady-state
@@ -185,7 +190,20 @@ func newRunner(cfg Config) *runner {
 	r.mapPeriod = MapPeriod(cfg.Platform)
 	r.cruise = CruiseSpeed(cfg.Platform, vp, r.camera.MaxRange, r.mapPeriod)
 
-	r.tree = octomap.New(cfg.World.Bounds, 0.5, octomap.DefaultParams())
+	if cfg.MapSeed != nil {
+		// Approximate mode: start from a fork of the world's golden map
+		// (a memcpy of the node slab) instead of an empty octree. The fork
+		// is released back to the seed's pool in finish.
+		r.tree = cfg.MapSeed.acquire()
+		if !cfg.MapSeed.snap.Matches(cfg.World.Bounds, mapResolution) {
+			panic("pipeline: MapSeed world geometry does not match cfg.World")
+		}
+	} else {
+		r.tree = octomap.New(cfg.World.Bounds, mapResolution, octomap.DefaultParams())
+	}
+	if cfg.NearFieldStride > 1 {
+		r.nearRadius = nearFieldFrac * r.camera.MaxRange
+	}
 	r.adapter = &mapAdapter{
 		tree:   r.tree,
 		policy: octomap.QueryPolicy{UnknownIsFree: true, Radius: vp.Radius + 0.2},
@@ -319,7 +337,11 @@ func (r *runner) buildGraph() {
 			}
 			r.scanBuf = append(r.scanBuf, octomap.RayPoint{End: pt, Hit: p.Hit})
 		}
-		r.tree.InsertCloud(c.Origin, r.scanBuf)
+		// The approximate levers apply inside the insertion call, after
+		// the fault hook has seen every point — an approximate mission's
+		// kernel dynamic-value counts (and so its calibrated fault
+		// indices) are identical to the exact mission's.
+		r.tree.InsertCloudApprox(c.Origin, r.scanBuf, r.nearRadius, r.cfg.NearFieldStride, r.cfg.MemoSkip)
 		r.acct.ComputeS += r.cfg.Platform.OctoMapS
 	})
 
@@ -836,5 +858,13 @@ func (r *runner) finish(outcome qof.Outcome) Result {
 		r.res.Trace = r.trc
 	}
 	r.res.StateDeltas = r.deltas
+	if r.cfg.MapSeed != nil {
+		// Recycle the arena for the cell's next mission. Safe: nothing
+		// after finish touches the tree, and ForkInto fully resets it
+		// before reuse. A panicked mission simply never returns its tree —
+		// the pool refills from fresh forks.
+		r.cfg.MapSeed.release(r.tree)
+		r.tree = nil
+	}
 	return r.res
 }

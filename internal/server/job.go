@@ -41,6 +41,15 @@ type JobSpec struct {
 	MaxMissionS float64 `json:"max_mission_s,omitempty"`
 	// TrainEnvs is the training-environment count for gad/aad (default 12).
 	TrainEnvs int `json:"train_envs,omitempty"`
+	// MapSeed selects the golden-map mode: "off" (default, exact), "seed"
+	// (approximate mode: missions fork the world's golden map — built once
+	// into the server's warm assets, persisted under <record-dir>/mapseeds
+	// when recording is enabled), or "memo" ("seed" plus saturated-
+	// evidence memoization).
+	MapSeed string `json:"map_seed,omitempty"`
+	// NearFieldStride, when > 1, enables near-field ray subsampling
+	// (approximate mode).
+	NearFieldStride int `json:"near_field_stride,omitempty"`
 	// Record persists every mission as a replayable recording under the
 	// server's -record-dir; recorded jobs survive server restarts.
 	Record bool `json:"record,omitempty"`
@@ -63,6 +72,9 @@ func (js JobSpec) normalized() JobSpec {
 	}
 	if js.TrainEnvs <= 0 {
 		js.TrainEnvs = 12
+	}
+	if js.MapSeed == "" {
+		js.MapSeed = "off"
 	}
 	return js
 }
@@ -97,16 +109,26 @@ func (js JobSpec) matrixSpec() (matrix.Spec, error) {
 	default:
 		return matrix.Spec{}, fmt.Errorf("server: unknown detector %q (have none, gad, aad)", js.Detector)
 	}
+	switch js.MapSeed {
+	case "off", "seed", "memo":
+	default:
+		return matrix.Spec{}, fmt.Errorf("server: unknown map-seed mode %q (have off, seed, memo)", js.MapSeed)
+	}
+	if js.NearFieldStride < 0 {
+		return matrix.Spec{}, fmt.Errorf("server: negative near-field stride %d", js.NearFieldStride)
+	}
 	return matrix.Spec{
-		Worlds:      []string{js.World},
-		Targets:     targets,
-		Severities:  sevs,
-		Detectors:   []string{js.Detector},
-		Recoveries:  []bool{js.Recovery},
-		Runs:        js.Runs,
-		Seed:        js.Seed,
-		MaxMissionS: js.MaxMissionS,
-		TrainEnvs:   js.TrainEnvs,
+		Worlds:          []string{js.World},
+		Targets:         targets,
+		Severities:      sevs,
+		Detectors:       []string{js.Detector},
+		Recoveries:      []bool{js.Recovery},
+		Runs:            js.Runs,
+		Seed:            js.Seed,
+		MaxMissionS:     js.MaxMissionS,
+		TrainEnvs:       js.TrainEnvs,
+		MapSeed:         js.MapSeed,
+		NearFieldStride: js.NearFieldStride,
 	}, nil
 }
 

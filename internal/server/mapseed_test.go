@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mavfi/internal/campaign/matrix"
+)
+
+// TestSeededJobMatchesCLIAndPersistsSeed extends the served-equals-CLI gate
+// to approximate mode: a map_seed=seed job served over HTTP must produce the
+// CSV bytes the equivalent seeded CLI matrix run produces, and a recording
+// server must persist the golden map under <record-dir>/mapseeds.
+func TestSeededJobMatchesCLIAndPersistsSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real missions")
+	}
+	spec := testSpec()
+	spec.MapSeed = "seed"
+	spec.NearFieldStride = 2
+	mspec, err := spec.matrixSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mspec.Workers = 2
+	ref, err := matrix.Run(context.Background(), mspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 2, RecordDir: dir})
+	st, code := postJob(t, ts, spec, true)
+	if code != http.StatusOK {
+		t.Fatalf("submit: status %d", code)
+	}
+	if st.State != JobDone {
+		t.Fatalf("job state %q, want done (error: %s)", st.State, st.Error)
+	}
+	cell, code := getBody(t, ts, "/jobs/"+st.ID+"/cell.csv")
+	if code != http.StatusOK {
+		t.Fatalf("cell.csv: status %d", code)
+	}
+	if cell != ref.Cells[0].CSV() {
+		t.Errorf("seeded served cell CSV differs from CLI bytes:\nserved:\n%s\ncli:\n%s", cell, ref.Cells[0].CSV())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "mapseeds", "sparse.mapseed")); err != nil {
+		t.Errorf("golden map not persisted under record dir: %v", err)
+	}
+}
+
+// TestJobSpecRejectsBadMapSeed pins wire validation of the new fields.
+func TestJobSpecRejectsBadMapSeed(t *testing.T) {
+	bad := testSpec()
+	bad.MapSeed = "warp"
+	if _, err := bad.matrixSpec(); err == nil {
+		t.Error("unknown map_seed accepted")
+	}
+	neg := testSpec()
+	neg.NearFieldStride = -1
+	if _, err := neg.matrixSpec(); err == nil {
+		t.Error("negative near_field_stride accepted")
+	}
+	ok := testSpec()
+	ok.MapSeed = "seed"
+	ok.NearFieldStride = 4
+	mspec, err := ok.matrixSpec()
+	if err != nil {
+		t.Fatalf("valid seeded spec rejected: %v", err)
+	}
+	if mspec.MapSeed != "seed" || mspec.NearFieldStride != 4 {
+		t.Errorf("seeded fields not forwarded: %+v", mspec)
+	}
+	if def := (testSpec()).normalized(); def.MapSeed != "off" {
+		t.Errorf("default map_seed = %q, want off", def.MapSeed)
+	}
+}
