@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan bench-probes bench-seed docs-check record replay replay-verify matrix-smoke server-smoke approx-smoke fuzz-smoke cover staticcheck vulncheck
+.PHONY: build vet fmt fmt-check test test-full test-race bench bench-smoke bench-plan bench-probes bench-seed docs-check record replay replay-verify matrix-smoke server-smoke dispatch-smoke approx-smoke fuzz-smoke cover staticcheck vulncheck
 
 build:
 	$(GO) build ./...
@@ -150,6 +150,47 @@ server-smoke:
 	cmp data/server/cell.csv data/server/cli/cell-000-sparse-sensor-high-none-norec.csv
 	cmp data/server/summary.csv data/server/cli/summary.csv
 	@echo "served-campaign byte-identity: ok"
+
+# dispatch-smoke is the CI sharded-dispatch gate: a dispatcher fans a small
+# campaign matrix out to two worker shards over real TCP sockets, one worker
+# is SIGKILLed as soon as the first cell result lands, and the campaign must
+# still complete — the surviving shard absorbs the retries — with CSVs
+# byte-identical to a single-process `mavfi matrix` run of the same spec.
+# Proves the lease/retry/fencing contract end to end through real process
+# death, not just the in-package chaos test.
+DISPATCH_ADDR ?= 127.0.0.1:18090
+DISPATCH_W1 ?= 127.0.0.1:18091
+DISPATCH_W2 ?= 127.0.0.1:18092
+dispatch-smoke:
+	rm -rf data/dispatch && mkdir -p data/dispatch
+	$(GO) build -o data/dispatch/mavfi-server ./cmd/mavfi-server
+	@set -e; \
+	data/dispatch/mavfi-server -worker -addr $(DISPATCH_W1) & w1=$$!; \
+	data/dispatch/mavfi-server -worker -addr $(DISPATCH_W2) & w2=$$!; \
+	trap 'kill $$w1 $$w2 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://$(DISPATCH_W1)/healthz >/dev/null 2>&1 && \
+		curl -sf http://$(DISPATCH_W2)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	curl -sf http://$(DISPATCH_W1)/healthz | grep -q ok; \
+	curl -sf http://$(DISPATCH_W2)/healthz | grep -q ok; \
+	data/dispatch/mavfi-server -dispatch -addr $(DISPATCH_ADDR) \
+		-shards $(DISPATCH_W1),$(DISPATCH_W2) \
+		-state-dir data/dispatch/state -csv-dir data/dispatch/out \
+		-worlds sparse -families sensor,wind,actuator -severities low,high \
+		-runs 2 -seed 1 & d=$$!; \
+	trap 'kill $$w1 $$w2 $$d 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 600); do \
+		ls data/dispatch/state/cells/cell-*.json >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	kill -9 $$w1 2>/dev/null || true; \
+	echo "SIGKILLed worker 1 mid-campaign"; \
+	wait $$d; \
+	kill $$w2 2>/dev/null || true
+	$(GO) run ./cmd/mavfi matrix -worlds sparse -families sensor,wind,actuator \
+		-severities low,high -runs 2 -seed 1 -workers 4 -csv-dir data/dispatch/cli
+	diff -r data/dispatch/out data/dispatch/cli
+	@echo "sharded-dispatch byte-identity under worker death: ok"
 
 # approx-smoke is the CI approximate-mode gate: (a) a seeded+strided matrix
 # cell run at 1 and 4 workers must be byte-identical (golden maps are built

@@ -1,21 +1,43 @@
-// Command mavfi-server runs the mavfi campaign service: a long-running HTTP
-// server that accepts campaign jobs, executes them on the campaign worker
-// pool behind a bounded FIFO queue, streams per-mission results over SSE,
-// and serves finished cells in the exact CSV schema `mavfi matrix` emits.
+// Command mavfi-server runs the mavfi campaign machinery as a network
+// service, in one of three modes:
+//
+// The default mode is the campaign service of docs/ARCHITECTURE.md: a
+// long-running HTTP server that accepts campaign jobs, executes them on the
+// campaign worker pool behind a bounded FIFO queue, streams per-mission
+// results over SSE, and serves finished cells in the exact CSV schema
+// `mavfi matrix` emits.
 //
 //	mavfi-server -addr :8080 -workers 4 -record-dir runs/ -warm sparse,dense
 //
 // With -record-dir, jobs submitted with "record": true persist their mission
 // recordings there and survive restarts: on startup the server rebuilds
-// finished jobs from the recordings without re-simulating anything.
+// finished jobs from the recordings without re-simulating anything. On
+// SIGTERM the server drains gracefully: the running job finishes, queued
+// jobs are marked interrupted, and the process exits 0.
+//
+// -worker turns the process into a dispatch worker shard: it executes
+// single-cell work units POSTed to /exec by a dispatcher and answers
+// heartbeat probes on /healthz.
+//
+//	mavfi-server -worker -addr :9001 -register http://dispatcher:8080
+//
+// -dispatch turns the process into a campaign dispatcher: it fans a whole
+// campaign matrix out to worker shards (with leases, retries, and local
+// fallback), serves golden-map seeds to its workers, and writes final CSVs
+// byte-identical to a single-process `mavfi matrix` run.
+//
+//	mavfi-server -dispatch -shards w1:9001,w2:9001 -worlds sparse \
+//	    -families sensor,wind -runs 16 -csv-dir out/ -state-dir state/
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,27 +45,113 @@ import (
 	"syscall"
 	"time"
 
+	"mavfi/internal/campaign/matrix"
+	"mavfi/internal/dispatch"
 	"mavfi/internal/server"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	queue := flag.Int("queue", 16, "job queue capacity (submissions beyond it get 429)")
-	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS-derived default)")
-	recordDir := flag.String("record-dir", "", "directory for recorded jobs (enables restart recovery)")
-	deadline := flag.Duration("deadline", 0, "per-mission wall-clock budget (0 = none; breaks byte-identity when it fires)")
-	warm := flag.String("warm", "", "comma-separated worlds to build at startup (e.g. sparse,dense)")
+	var (
+		workerMode   = flag.Bool("worker", false, "run as a dispatch worker shard instead of the campaign service")
+		dispatchMode = flag.Bool("dispatch", false, "run as a campaign dispatcher instead of the campaign service")
+
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS-derived default)")
+
+		// Campaign-service flags.
+		queue       = flag.Int("queue", 16, "job queue capacity (submissions beyond it get 429)")
+		recordDir   = flag.String("record-dir", "", "directory for recorded jobs (enables restart recovery)")
+		deadline    = flag.Duration("deadline", 0, "per-mission wall-clock budget (0 = none; breaks byte-identity when it fires)")
+		warm        = flag.String("warm", "", "comma-separated worlds to build at startup (e.g. sparse,dense)")
+		drainBudget = flag.Duration("drain-timeout", 5*time.Minute, "how long a SIGTERM drain waits for the running job")
+
+		// Worker-mode flags.
+		register  = flag.String("register", "", "(worker) dispatcher base URL to register with at startup")
+		advertise = flag.String("advertise", "", "(worker/dispatch) address other processes reach this one at (default: the bound address, with unspecified hosts rewritten to 127.0.0.1)")
+
+		// Dispatch-mode flags: the matrix axes mirror `mavfi matrix`.
+		shards     = flag.String("shards", "", "(dispatch) comma-separated worker addresses")
+		stateDir   = flag.String("state-dir", "", "(dispatch) campaign state directory (enables crash-safe resume)")
+		csvDir     = flag.String("csv-dir", "", "(dispatch) write per-cell and summary CSVs under DIR")
+		lease      = flag.Duration("lease", 2*time.Minute, "(dispatch) per-cell lease TTL")
+		noLocal    = flag.Bool("no-local", false, "(dispatch) never fall back to local execution; wait for healthy shards instead")
+		worlds     = flag.String("worlds", "sparse", "(dispatch) comma-separated environments")
+		families   = flag.String("families", "all", "(dispatch) comma-separated fault targets (family[:kind]) or all")
+		severities = flag.String("severities", "low,high", "(dispatch) comma-separated severity levels (low, med, high, or name=scale)")
+		detectors  = flag.String("detectors", "none", "(dispatch) comma-separated detectors: none, gad, aad")
+		recovery   = flag.String("recoveries", "on", "(dispatch) recovery axis for detector cells: on, off, or on,off")
+		runs       = flag.Int("runs", 4, "(dispatch) missions per cell")
+		seed       = flag.Int64("seed", 1, "(dispatch) matrix seed")
+		train      = flag.Int("train", 12, "(dispatch) training environments when gad/aad is on the detector axis")
+		maxMission = flag.Float64("max-mission", 0, "(dispatch) mission time budget in sim seconds (0 = pipeline default)")
+		mapSeed    = flag.String("map-seed", "off", "(dispatch) golden-map mode: off, seed, or memo")
+		nearStride = flag.Int("near-stride", 0, "(dispatch) near-field ray subsampling stride (0 or 1 = off)")
+	)
 	flag.Parse()
 
+	switch {
+	case *workerMode && *dispatchMode:
+		fmt.Fprintln(os.Stderr, "mavfi-server: -worker and -dispatch are mutually exclusive")
+		os.Exit(2)
+	case *workerMode:
+		runWorker(*addr, *advertise, *register, *workers)
+	case *dispatchMode:
+		runDispatch(dispatchFlags{
+			addr: *addr, advertise: *advertise, shards: *shards, stateDir: *stateDir,
+			csvDir: *csvDir, lease: *lease, noLocal: *noLocal, workers: *workers,
+			worlds: *worlds, families: *families, severities: *severities,
+			detectors: *detectors, recovery: *recovery, runs: *runs, seed: *seed,
+			train: *train, maxMission: *maxMission, mapSeed: *mapSeed, nearStride: *nearStride,
+		})
+	default:
+		runService(*addr, *queue, *workers, *recordDir, *deadline, *warm, *drainBudget)
+	}
+}
+
+// hardenedServer wraps a handler in an http.Server with the slow-client
+// protections every mode wants: a header-read deadline so a stalled client
+// cannot pin an accept slot, and an idle timeout to reap dead keep-alive
+// connections. No Read/WriteTimeout — SSE streams and long /exec units are
+// legitimately open for minutes, and both have their own liveness story
+// (keepalive frames, lease deadlines).
+func hardenedServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// advertiseAddr resolves the address peers should dial: the -advertise
+// override, or the actual bound address with an unspecified host ("" or
+// "::") rewritten to loopback — a dialable default for single-machine and
+// test topologies.
+func advertiseAddr(override string, bound net.Addr) string {
+	if override != "" {
+		return override
+	}
+	host, port, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return bound.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// runService is the default campaign-service mode.
+func runService(addr string, queue, workers int, recordDir string, deadline time.Duration, warm string, drainBudget time.Duration) {
 	var warmWorlds []string
-	if *warm != "" {
-		warmWorlds = strings.Split(*warm, ",")
+	if warm != "" {
+		warmWorlds = strings.Split(warm, ",")
 	}
 	srv, err := server.New(server.Config{
-		Queue:      *queue,
-		Workers:    *workers,
-		RecordDir:  *recordDir,
-		Deadline:   *deadline,
+		Queue:      queue,
+		Workers:    workers,
+		RecordDir:  recordDir,
+		Deadline:   deadline,
 		WarmWorlds: warmWorlds,
 	})
 	if err != nil {
@@ -52,10 +160,10 @@ func main() {
 	}
 	defer srv.Close()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := hardenedServer(addr, srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("mavfi-server listening on %s", *addr)
+	log.Printf("mavfi-server listening on %s", addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -66,9 +174,190 @@ func main() {
 			os.Exit(1)
 		}
 	case sig := <-sigc:
-		log.Printf("mavfi-server: %v, shutting down", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("mavfi-server: %v, draining", sig)
+		dctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("mavfi-server: drain: %v", err)
+		}
+		cancel()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+		log.Printf("mavfi-server: drained, exiting")
+	}
+}
+
+// runWorker is the dispatch worker-shard mode: serve /exec and /healthz
+// until told to stop, optionally registering with a dispatcher first.
+func runWorker(addr, advertise, register string, workers int) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	self := advertiseAddr(advertise, ln.Addr())
+	w := dispatch.NewWorker(dispatch.WorkerConfig{Workers: workers, Logf: log.Printf})
+	hs := hardenedServer(addr, w.Handler())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("mavfi-server worker listening on %s (advertised as %s)", ln.Addr(), self)
+
+	if register != "" {
+		go registerWithDispatcher(register, self)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		// Finish the in-flight unit if it is quick; the dispatcher's lease
+		// machinery makes an abandoned unit harmless either way.
+		log.Printf("mavfi-server worker: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		hs.Shutdown(ctx)
 	}
+}
+
+// registerWithDispatcher announces this worker's address to the dispatcher,
+// retrying briefly: at startup the dispatcher may not be up yet, and a
+// failure is survivable anyway (the operator can list the worker in
+// -shards).
+func registerWithDispatcher(base, self string) {
+	body, _ := json.Marshal(map[string]string{"addr": self})
+	url := strings.TrimSuffix(base, "/") + "/workers"
+	for attempt := 1; attempt <= 10; attempt++ {
+		resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode < 300 {
+				log.Printf("mavfi-server worker: registered with %s", base)
+				return
+			}
+			err = fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		log.Printf("mavfi-server worker: registering with %s (attempt %d): %v", base, attempt, err)
+		time.Sleep(time.Duration(attempt) * 500 * time.Millisecond)
+	}
+	log.Printf("mavfi-server worker: giving up on registration; list this worker in -shards instead")
+}
+
+// dispatchFlags carries the dispatch-mode flag values.
+type dispatchFlags struct {
+	addr, advertise, shards, stateDir, csvDir         string
+	lease                                             time.Duration
+	noLocal                                           bool
+	workers                                           int
+	worlds, families, severities, detectors, recovery string
+	runs                                              int
+	seed                                              int64
+	train                                             int
+	maxMission                                        float64
+	mapSeed                                           string
+	nearStride                                        int
+}
+
+// runDispatch is the campaign-dispatcher mode: shard the matrix, reassemble
+// the result, write the CSVs, exit 0.
+func runDispatch(f dispatchFlags) {
+	targets, err := matrix.ParseTargets(f.families)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sevs, err := matrix.ParseSeverities(f.severities)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var recs []bool
+	for _, part := range strings.Split(f.recovery, ",") {
+		switch strings.TrimSpace(part) {
+		case "on":
+			recs = append(recs, true)
+		case "off":
+			recs = append(recs, false)
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown recovery mode %q (want on, off)\n", part)
+			os.Exit(2)
+		}
+	}
+	spec := matrix.Spec{
+		Worlds:          splitList(f.worlds),
+		Targets:         targets,
+		Severities:      sevs,
+		Detectors:       splitList(f.detectors),
+		Recoveries:      recs,
+		Runs:            f.runs,
+		Seed:            f.seed,
+		MaxMissionS:     f.maxMission,
+		TrainEnvs:       f.train,
+		MapSeed:         f.mapSeed,
+		NearFieldStride: f.nearStride,
+	}
+
+	ln, err := net.Listen("tcp", f.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	self := advertiseAddr(f.advertise, ln.Addr())
+	cfg := dispatch.Config{
+		Shards:       splitList(f.shards),
+		LeaseTTL:     f.lease,
+		DisableLocal: f.noLocal,
+		StateDir:     f.stateDir,
+		Workers:      f.workers,
+		Logf:         log.Printf,
+		OnCellDone: func(done, total int) {
+			log.Printf("mavfi-server dispatch: cells %d/%d", done, total)
+		},
+	}
+	if f.mapSeed != "off" && f.mapSeed != "" {
+		cfg.SeedURL = "http://" + self + "/seeds"
+	}
+	d := dispatch.New(cfg)
+	hs := hardenedServer(f.addr, d.Handler())
+	go hs.Serve(ln)
+	defer hs.Close()
+	log.Printf("mavfi-server dispatch listening on %s (advertised as %s)", ln.Addr(), self)
+
+	// SIGTERM/SIGINT cancel the campaign; with -state-dir, completed cells
+	// are already persisted and a re-run resumes where this one stopped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := d.Run(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := d.Stat()
+	log.Printf("mavfi-server dispatch: campaign %s complete (%d cells, %d retries, %d expired leases, %d stale drops, %d local runs)",
+		st.Campaign, st.Done, st.Retries, st.Expired, st.StaleDrops, st.LocalRuns)
+	if f.csvDir != "" {
+		if err := res.WriteCSV(f.csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "writing CSV:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d cell CSVs and summary.csv under %s\n", len(res.Cells), f.csvDir)
+		return
+	}
+	fmt.Print(res.Table())
+}
+
+// splitList splits a comma-separated flag into trimmed non-empty parts.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

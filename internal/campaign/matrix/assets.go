@@ -125,6 +125,40 @@ func (a *Assets) MapSeed(world string) (*pipeline.MapSeed, error) {
 	return s, nil
 }
 
+// HasSeed reports whether the golden map for the named world is already in
+// the cache (loaded, built, or installed) without triggering a build.
+func (a *Assets) HasSeed(world string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.seeds[world]
+	return ok
+}
+
+// InstallSeedSnapshot installs a golden-map snapshot obtained out of band —
+// a worker shard fetching the serialized seed from its dispatcher instead of
+// rebuilding it — after geometry-checking it against the named world. A
+// snapshot that fails the check (stale geometry, wrong world) is rejected
+// and the caller falls back to a local build, which is bit-identical anyway:
+// seed sharing only saves the build time, never changes bytes. An already-
+// cached world is left untouched.
+func (a *Assets) InstallSeedSnapshot(world string, snap *octomap.Snapshot) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.seeds[world]; ok {
+		return nil
+	}
+	w, err := a.worldLocked(world)
+	if err != nil {
+		return err
+	}
+	s, err := pipeline.NewMapSeed(w, snap)
+	if err != nil {
+		return err
+	}
+	a.seeds[world] = s
+	return nil
+}
+
 // World returns the named standard environment, building it on first use.
 // The returned world is shared: its obstacle index is built once and is
 // strictly read-only afterwards, so any number of concurrent missions (and

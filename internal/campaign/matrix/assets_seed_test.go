@@ -1,0 +1,90 @@
+package matrix
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mavfi/internal/octomap"
+	"mavfi/internal/pipeline"
+)
+
+// TestMapSeedRebuildsOverCorruptFile pins the crash-recovery path of the seed
+// cache: a .mapseed file truncated mid-write (a crash before atomic rename
+// existed would leave exactly this) or overwritten with garbage must not
+// poison MapSeed. The snapshot reader's digest check rejects the bytes, the
+// seed is rebuilt from scratch — bit-identical by construction — and the good
+// bytes are written back over the bad file.
+func TestMapSeedRebuildsOverCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAssets()
+	a.SetSeedDir(dir)
+	built, err := a.MapSeed("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sparse.mapseed")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, bad := range map[string][]byte{
+		"truncated": good[: len(good)/2 : len(good)/2],
+		"garbage":   []byte("\x00not a snapshot\x00"),
+		"empty":     {},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			b := NewAssets()
+			b.SetSeedDir(dir)
+			s, err := b.MapSeed("sparse")
+			if err != nil {
+				t.Fatalf("MapSeed over a %s seed file: %v", name, err)
+			}
+			if s.Digest() != built.Digest() {
+				t.Fatalf("%s seed file rebuilt into a different seed", name)
+			}
+			if reread, err := octomap.ReadSnapshotFile(path); err != nil || reread.Digest() != built.Digest() {
+				t.Fatalf("rebuild did not repair the %s seed file (err %v)", name, err)
+			}
+		})
+	}
+}
+
+// TestInstallSeedSnapshotRejectsWrongWorld pins the worker-shard seed-sharing
+// guard: a snapshot whose geometry belongs to a different world is rejected
+// (the worker then degrades to a local build) and leaves no cache entry,
+// while installing the right snapshot succeeds and later installs no-op.
+func TestInstallSeedSnapshotRejectsWrongWorld(t *testing.T) {
+	factory, err := World("factory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := pipeline.BuildMapSeed(factory).Snapshot()
+
+	a := NewAssets()
+	if err := a.InstallSeedSnapshot("sparse", wrong); err == nil {
+		t.Fatal("installed a factory snapshot as the sparse golden map")
+	}
+	if a.HasSeed("sparse") {
+		t.Fatal("rejected snapshot left a cache entry behind")
+	}
+
+	sparse, err := World("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InstallSeedSnapshot("sparse", pipeline.BuildMapSeed(sparse).Snapshot()); err != nil {
+		t.Fatalf("installing the matching snapshot: %v", err)
+	}
+	if !a.HasSeed("sparse") {
+		t.Fatal("installed seed not cached")
+	}
+	// An already-cached world ignores further installs, even wrong ones.
+	if err := a.InstallSeedSnapshot("sparse", wrong); err != nil {
+		t.Fatalf("install on a cached world must no-op, got: %v", err)
+	}
+}

@@ -253,6 +253,12 @@ type Spec struct {
 	RecordDir string
 }
 
+// Normalized returns the spec with every zero-valued axis replaced by its
+// documented default — the exact spec Run executes and stores in Result.Spec.
+// The sharded dispatcher normalizes once up front so the dispatcher, its
+// workers, and the sequential reference all enumerate identical cells.
+func (s Spec) Normalized() Spec { return s.normalized() }
+
 func (s Spec) normalized() Spec {
 	if len(s.Worlds) == 0 {
 		s.Worlds = []string{"sparse"}

@@ -1,0 +1,88 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ShardClient is the dispatcher's transport to worker shards. The chaos
+// harness injects scripted implementations here (dead shards, responses
+// delayed past their lease, partitions); production uses NewHTTPShardClient.
+type ShardClient interface {
+	// Exec runs one work unit on the shard at addr. The context carries the
+	// lease deadline: implementations must return promptly once it is done.
+	Exec(ctx context.Context, addr string, unit WorkUnit) (*WorkResult, error)
+	// Health probes the shard's liveness (the heartbeat).
+	Health(ctx context.Context, addr string) error
+}
+
+// maxResultBytes bounds a work-result body; a cell result is a few KB per
+// mission, so this is generous without being unbounded.
+const maxResultBytes = 1 << 26
+
+// httpShardClient is the production ShardClient: plain HTTP against the
+// worker Handler endpoints.
+type httpShardClient struct {
+	client *http.Client
+}
+
+// NewHTTPShardClient builds the production shard transport. Per-request
+// deadlines come from the caller's context (the lease), so the underlying
+// client itself has no global timeout.
+func NewHTTPShardClient(transport http.RoundTripper) ShardClient {
+	return &httpShardClient{client: &http.Client{Transport: transport}}
+}
+
+// Exec POSTs the unit to the shard's /exec endpoint.
+func (c *httpShardClient) Exec(ctx context.Context, addr string, unit WorkUnit) (*WorkResult, error) {
+	body, err := json.Marshal(unit)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/exec", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("dispatch: shard %s: HTTP %d: %s", addr, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var res WorkResult
+	dec := json.NewDecoder(io.LimitReader(resp.Body, maxResultBytes))
+	if err := dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("dispatch: shard %s: decoding result: %w", addr, err)
+	}
+	return &res, nil
+}
+
+// Health GETs the shard's /healthz with a short per-probe deadline on top
+// of whatever the caller set.
+func (c *httpShardClient) Health(ctx context.Context, addr string) error {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dispatch: shard %s: health HTTP %d", addr, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mavfi/internal/atomicfile"
+	"mavfi/internal/campaign"
+	"mavfi/internal/campaign/matrix"
+	"mavfi/internal/faultinject"
+	"mavfi/internal/qof"
+)
+
+// campaignManifest is the persisted campaign.json: the campaign identity a
+// resumed dispatcher validates its spec against. Cell names are the
+// identity — results are pure functions of them — so a state directory
+// whose names match the current enumeration holds results that are valid
+// verbatim, and one that doesn't is a different campaign and is refused.
+type campaignManifest struct {
+	ID    string   `json:"id"`
+	Cells []string `json:"cells"`
+}
+
+// cellState is one persisted completed cell (cells/cell-NNN.json), written
+// atomically the moment the cell's lease result is accepted. A dispatcher
+// killed mid-campaign and restarted with the same state directory loads
+// these and re-runs only what is missing.
+type cellState struct {
+	Index   int                     `json:"index"`
+	Name    string                  `json:"name"`
+	Results []qof.Metrics           `json:"results"`
+	Plans   []faultinject.FaultPlan `json:"plans"`
+	Panics  []campaign.MissionPanic `json:"panics,omitempty"`
+}
+
+// campaignState manages a campaign's on-disk state directory.
+type campaignState struct {
+	dir string // "" = no persistence
+}
+
+// cellPath is the cell's state file.
+func (st campaignState) cellPath(i int) string {
+	return filepath.Join(st.dir, "cells", fmt.Sprintf("cell-%03d.json", i))
+}
+
+// init writes (or validates) the campaign manifest and returns any
+// previously completed cells, keyed by index. A manifest naming different
+// cells is a hard error — silently mixing two campaigns' results would
+// break the byte-identity guarantee in the worst possible way.
+func (st campaignState) init(id string, cells []matrix.Cell) (map[int]*cellState, error) {
+	if st.dir == "" {
+		return nil, nil
+	}
+	names := make([]string, len(cells))
+	for i, c := range cells {
+		names[i] = c.Name()
+	}
+	manPath := filepath.Join(st.dir, "campaign.json")
+	if b, err := os.ReadFile(manPath); err == nil {
+		var man campaignManifest
+		if err := json.Unmarshal(b, &man); err != nil {
+			return nil, fmt.Errorf("dispatch: corrupt campaign manifest %s: %w", manPath, err)
+		}
+		if len(man.Cells) != len(names) {
+			return nil, fmt.Errorf("dispatch: state dir %s holds a %d-cell campaign, current spec has %d cells", st.dir, len(man.Cells), len(names))
+		}
+		for i, n := range man.Cells {
+			if n != names[i] {
+				return nil, fmt.Errorf("dispatch: state dir %s cell %d is %q, current spec enumerates %q", st.dir, i, n, names[i])
+			}
+		}
+		return st.load(cells)
+	}
+	if err := os.MkdirAll(filepath.Join(st.dir, "cells"), 0o755); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(campaignManifest{ID: id, Cells: names}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := atomicfile.WriteFile(manPath, append(b, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return map[int]*cellState{}, nil
+}
+
+// load reads every persisted cell result, skipping files that are missing,
+// torn, or inconsistent with the enumeration — those cells simply re-run
+// (re-execution is free of risk: it reproduces the same bytes).
+func (st campaignState) load(cells []matrix.Cell) (map[int]*cellState, error) {
+	done := make(map[int]*cellState)
+	for i, c := range cells {
+		b, err := os.ReadFile(st.cellPath(i))
+		if err != nil {
+			continue
+		}
+		var cs cellState
+		if err := json.Unmarshal(b, &cs); err != nil {
+			continue
+		}
+		if cs.Index != i || cs.Name != c.Name() || len(cs.Results) == 0 {
+			continue
+		}
+		done[i] = &cs
+	}
+	return done, nil
+}
+
+// save persists one completed cell atomically. An error degrades resume
+// granularity (the cell would re-run after a crash) but never the result.
+func (st campaignState) save(cs *cellState) error {
+	if st.dir == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(cs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicfile.WriteFile(st.cellPath(cs.Index), append(b, '\n'), 0o644)
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"os"
 
+	"mavfi/internal/atomicfile"
 	"mavfi/internal/geom"
 )
 
@@ -339,18 +340,18 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// WriteSnapshotFile serializes the snapshot to path (atomically enough for a
-// cache: write then rename is unnecessary since readers digest-verify).
+// WriteSnapshotFile serializes the snapshot to path atomically (temp file +
+// rename via atomicfile). Readers digest-verify, so a torn plain write would
+// merely be rejected and rebuilt — but a crash mid-write used to leave a
+// corrupt file squatting on the cache path until the next rebuild overwrote
+// it, and the campaign dispatcher now serves these files to worker shards,
+// so the write path guarantees whole files outright.
 func WriteSnapshotFile(path string, s *Snapshot) error {
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
 		return err
 	}
-	_, werr := s.WriteTo(f)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
+	return atomicfile.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // ReadSnapshot decodes one serialized snapshot from r, validating the magic,

@@ -1,0 +1,73 @@
+package record
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mavfi/internal/pipeline"
+)
+
+// TestScanDirSkipsTempAndForeignFiles pins the restart-scan contract against
+// a directory mid-write: atomicfile temp files (base.atomic-NNN — never a
+// ".rec" suffix), manifests, and stray files are not recordings and must be
+// silently ignored, as must a directory whose name happens to end in ".rec".
+func TestScanDirSkipsTempAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"mission-00000.rec.atomic-1234", "job.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("\x00garbage\x00"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "archive.rec"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := ScanDir(dir)
+	if err != nil {
+		t.Fatalf("ScanDir over temp and foreign files: %v", err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("ScanDir found %d recordings in a directory holding none", len(infos))
+	}
+}
+
+// TestScanDirToleratesWriterDeath pins the other half of the contract: a
+// recording whose writer died at a frame boundary (no footer) is reported
+// with Complete=false rather than failing the whole scan, alongside its
+// healthy siblings, while a concurrent writer's temp file is skipped.
+func TestScanDirToleratesWriterDeath(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := RunRecorded(pipeline.Config{World: testWorld(), Seed: 3}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	dir := t.TempDir()
+	if err := os.WriteFile(MissionPath(dir, 0), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(MissionPath(dir, 1), truncateFooter(t, raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(MissionPath(dir, 2)+".atomic-5555", raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := ScanDir(dir)
+	if err != nil {
+		t.Fatalf("ScanDir with an incomplete recording: %v", err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("ScanDir returned %d recordings, want 2", len(infos))
+	}
+	if !infos[0].Complete {
+		t.Error("complete recording scanned as incomplete")
+	}
+	if infos[1].Complete {
+		t.Error("footer-less recording scanned as complete")
+	}
+	if infos[1].Header.Seed != 3 || infos[1].Header.World.Name != "Sparse" {
+		t.Errorf("incomplete recording lost its header: %+v", infos[1].Header)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns the service's HTTP API:
@@ -78,6 +79,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
+	if err == errDraining {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -129,11 +134,19 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.status())
 }
 
+// sseKeepAliveEvery is how often an idle SSE stream emits a comment frame.
+// SSE comments (a ":"-prefixed line) are invisible to EventSource clients
+// but keep NATs, proxies, and IdleTimeout-bearing servers from reaping a
+// connection that is quietly waiting on a long mission. Variable so tests
+// can shrink it.
+var sseKeepAliveEvery = 15 * time.Second
+
 // handleStream serves the job's per-mission results as Server-Sent Events:
 // first the history already published (so late subscribers miss nothing),
 // then live events as missions complete, and finally one "done" event
 // carrying the terminal status. Event order is completion order — mission
-// order is available afterwards from the status and CSV endpoints.
+// order is available afterwards from the status and CSV endpoints. Idle
+// streams carry periodic keepalive comment frames.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.jobFor(w, r)
 	if j == nil {
@@ -159,8 +172,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	for _, ev := range history {
 		send("mission", ev)
 	}
+	keepalive := time.NewTicker(sseKeepAliveEvery)
+	defer keepalive.Stop()
 	for {
 		select {
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
 		case ev := <-ch:
 			send("mission", ev)
 		case <-j.finished:

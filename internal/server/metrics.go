@@ -16,11 +16,13 @@ type metrics struct {
 	jobsQueued  atomic.Int64 // gauge: jobs waiting in the FIFO queue
 	jobsRunning atomic.Int64 // gauge: jobs currently executing (0 or 1)
 
-	jobsDone      atomic.Int64 // counters: terminal-state totals
-	jobsFailed    atomic.Int64
-	jobsCanceled  atomic.Int64
-	jobsRejected  atomic.Int64 // queue-full 429s
-	jobsRecovered atomic.Int64 // jobs rebuilt from recordings at startup
+	jobsDone          atomic.Int64 // counters: terminal-state totals
+	jobsFailed        atomic.Int64
+	jobsCanceled      atomic.Int64
+	jobsInterrupted   atomic.Int64 // queued jobs finished by a graceful drain
+	jobsRejected      atomic.Int64 // queue-full 429s
+	jobsRecovered     atomic.Int64 // jobs rebuilt from recordings at startup
+	jobsRecoverFailed atomic.Int64 // corrupt job dirs skipped at startup
 
 	missions atomic.Int64                  // completed missions across all jobs
 	outcomes [qof.NumOutcomes]atomic.Int64 // per-outcome mission counters
@@ -51,8 +53,10 @@ func (m *metrics) render() string {
 	counter("mavfi_jobs_done_total", "Jobs that completed successfully.", m.jobsDone.Load())
 	counter("mavfi_jobs_failed_total", "Jobs that ended in an error.", m.jobsFailed.Load())
 	counter("mavfi_jobs_canceled_total", "Jobs canceled by request.", m.jobsCanceled.Load())
+	counter("mavfi_jobs_interrupted_total", "Queued jobs finished as interrupted by a graceful drain.", m.jobsInterrupted.Load())
 	counter("mavfi_jobs_rejected_total", "Submissions rejected because the queue was full.", m.jobsRejected.Load())
 	counter("mavfi_jobs_recovered_total", "Jobs rebuilt from recordings at startup.", m.jobsRecovered.Load())
+	counter("mavfi_jobs_recover_failed_total", "Corrupt job directories skipped during startup recovery.", m.jobsRecoverFailed.Load())
 	counter("mavfi_missions_total", "Missions completed across all jobs.", m.missions.Load())
 
 	fmt.Fprintf(&b, "# HELP mavfi_mission_outcomes_total Missions by outcome.\n# TYPE mavfi_mission_outcomes_total counter\n")

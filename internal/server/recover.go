@@ -43,7 +43,14 @@ func (s *Server) recoverJobs() error {
 		dir := filepath.Join(s.cfg.RecordDir, name)
 		j, err := s.recoverJob(dir)
 		if err != nil {
-			return fmt.Errorf("server: recovering %s: %w", dir, err)
+			// One corrupt job directory (a manifest damaged on disk, an
+			// unreadable recording) must not take the whole server down
+			// with it: recovery exists to survive crashes, so it cannot
+			// itself be brittle. Skip the directory and count it — the
+			// healthy jobs still recover, and the metric surfaces the rot.
+			s.metrics.jobsRecoverFailed.Add(1)
+			fmt.Fprintf(os.Stderr, "server: skipping unrecoverable %s: %v\n", dir, err)
+			continue
 		}
 		if j == nil {
 			continue // not a job directory

@@ -19,8 +19,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mavfi/internal/atomicfile"
 	"mavfi/internal/campaign/matrix"
 	"mavfi/internal/qof"
 )
@@ -61,9 +63,11 @@ type Server struct {
 
 	queue chan *Job
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	drainc   chan struct{}
 
 	metrics metrics
 }
@@ -83,6 +87,7 @@ func New(cfg Config) (*Server, error) {
 		queue:  make(chan *Job, cfg.Queue),
 		ctx:    ctx,
 		cancel: cancel,
+		drainc: make(chan struct{}),
 	}
 	for _, w := range cfg.WarmWorlds {
 		if _, err := s.assets.World(w); err != nil {
@@ -122,10 +127,45 @@ func (s *Server) Close() {
 	}
 }
 
+// Drain is the graceful-shutdown path: it stops the executor from picking
+// up new work, lets the currently running job finish (bounded by ctx), and
+// finishes every still-queued job as interrupted — the same state restart
+// recovery uses for half-done work, so clients handle both identically by
+// resubmitting. New submissions are rejected for the rest of the process's
+// life. Returns ctx.Err() if the running job outlived the drain budget.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.drainc)
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// The executor has exited, so this loop is the queue's only consumer.
+	for {
+		select {
+		case j := <-s.queue:
+			s.metrics.jobsQueued.Add(-1)
+			s.metrics.jobsInterrupted.Add(1)
+			j.finish(JobInterrupted, "interrupted by server drain; resubmit to re-run", nil)
+		default:
+			return nil
+		}
+	}
+}
+
 // Submit validates spec, assigns an ID, and enqueues the job. It returns
-// errQueueFull (without consuming an ID) when the queue is at capacity, and
-// a validation error for malformed specs.
+// errQueueFull (without consuming an ID) when the queue is at capacity,
+// errDraining once a drain has begun, and a validation error for malformed
+// specs.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
 	spec = spec.normalized()
 	mspec, err := spec.matrixSpec()
 	if err != nil {
@@ -170,6 +210,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 
 // errQueueFull rejects a submission when the FIFO queue is at capacity.
 var errQueueFull = fmt.Errorf("server: job queue is full")
+
+// errDraining rejects submissions once a graceful drain has begun.
+var errDraining = fmt.Errorf("server: draining, not accepting jobs")
 
 // Job returns the job by ID.
 func (s *Server) Job(id string) (*Job, bool) {
@@ -221,8 +264,17 @@ func (s *Server) Cancel(id string) bool {
 func (s *Server) executor() {
 	defer s.wg.Done()
 	for {
+		// Checked separately first so a drain beats a ready queue: once
+		// Drain has been called, no new job may start.
+		select {
+		case <-s.drainc:
+			return
+		default:
+		}
 		select {
 		case <-s.ctx.Done():
+			return
+		case <-s.drainc:
 			return
 		case j := <-s.queue:
 			s.metrics.jobsQueued.Add(-1)
@@ -297,7 +349,9 @@ type manifest struct {
 }
 
 // writeManifest creates the job's recording directory and persists its
-// manifest.
+// manifest crash-safely: the atomic temp-file + rename protocol guarantees
+// restart recovery sees either no job.json or a complete one, never a torn
+// prefix — so a server killed mid-submit cannot poison its own recovery.
 func (s *Server) writeManifest(j *Job) error {
 	if err := os.MkdirAll(j.recordDir, 0o755); err != nil {
 		return err
@@ -306,5 +360,5 @@ func (s *Server) writeManifest(j *Job) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(j.recordDir, "job.json"), append(b, '\n'), 0o644)
+	return atomicfile.WriteFile(filepath.Join(j.recordDir, "job.json"), append(b, '\n'), 0o644)
 }
