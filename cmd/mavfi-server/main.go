@@ -231,8 +231,11 @@ func runWorker(addr, advertise, register string, workers int) {
 func registerWithDispatcher(base, self string) {
 	body, _ := json.Marshal(map[string]string{"addr": self})
 	url := strings.TrimSuffix(base, "/") + "/workers"
+	// Not the default client: a dispatcher that accepts the connection but
+	// never answers must cost one attempt, not hang the retry loop forever.
+	client := &http.Client{Timeout: 5 * time.Second}
 	for attempt := 1; attempt <= 10; attempt++ {
-		resp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+		resp, err := client.Post(url, "application/json", strings.NewReader(string(body)))
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode < 300 {

@@ -246,12 +246,16 @@ func (d *Dispatcher) Stat() Status {
 	return st
 }
 
-// campaignID derives the campaign's stable identity from the matrix seed
-// and the enumerated cell names — the same inputs every result is a pure
-// function of, so a restarted dispatcher computes the same ID.
-func campaignID(seed int64, cells []matrix.Cell) string {
+// campaignID derives the campaign's stable identity from every spec knob a
+// cell result is a function of: the matrix seed, the enumerated cell names,
+// and the knobs names don't encode (runs per cell, mission time budget,
+// detector training size, map-seed mode, near-field stride). Two specs with
+// the same ID produce byte-identical results, so a restarted dispatcher may
+// reuse persisted cells verbatim — and one with a different ID must not.
+func campaignID(spec matrix.Spec, cells []matrix.Cell) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d\n", seed)
+	fmt.Fprintf(h, "seed=%d runs=%d maxmission=%v train=%d mapseed=%s stride=%d\n",
+		spec.Seed, spec.Runs, spec.MaxMissionS, spec.TrainEnvs, spec.MapSeed, spec.NearFieldStride)
 	for _, c := range cells {
 		fmt.Fprintf(h, "%s\n", c.Name())
 	}
@@ -309,10 +313,10 @@ func (d *Dispatcher) Run(ctx context.Context, spec matrix.Spec) (*matrix.Result,
 	}
 
 	cells := matrix.Cells(nspec)
-	id := campaignID(nspec.Seed, cells)
+	id := campaignID(nspec, cells)
 	d.campaignID.Store(id)
 	st := campaignState{dir: d.cfg.StateDir}
-	doneCells, err := st.init(id, cells)
+	doneCells, err := st.init(id, nspec.Runs, cells)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package dispatch
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -324,23 +325,76 @@ func TestResumeSkipsCompletedCells(t *testing.T) {
 	if n := fc4.totalExecs(); n != 1 {
 		t.Errorf("resume after one torn cell re-executed %d cells, want 1", n)
 	}
+
+	// A well-formed cell file with the wrong mission count (fewer results
+	// than Spec.Runs) is rejected on load and re-runs: trusting it would
+	// assemble a short cell.
+	path = filepath.Join(dir, "cells", "cell-000.json")
+	b, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var short cellState
+	if err := json.Unmarshal(b, &short); err != nil {
+		t.Fatal(err)
+	}
+	short.Results = short.Results[:1]
+	b, err = json.Marshal(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fc5 := newFakeClient()
+	checkResult(t, spec, run(fc5))
+	if n := fc5.totalExecs(); n != 1 {
+		t.Errorf("resume after one short cell re-executed %d cells, want 1", n)
+	}
 }
 
 func TestStateDirRefusesDifferentCampaign(t *testing.T) {
 	dir := t.TempDir()
-	mk := func() *Dispatcher {
-		return New(Config{Shards: []string{"a:1"}, Client: newFakeClient(), DisableLocal: true, StateDir: dir})
+	run := func(spec matrix.Spec) error {
+		d := New(Config{Shards: []string{"a:1"}, Client: newFakeClient(), DisableLocal: true, StateDir: dir})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, err := d.Run(ctx, spec)
+		return err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if _, err := mk().Run(ctx, fakeSpec()); err != nil {
+	if err := run(fakeSpec()); err != nil {
 		t.Fatal(err)
 	}
+
+	// A different cell enumeration is refused on the persisted name list.
 	other := fakeSpec()
-	other.Seed = 43 // different seed → different cells? No: names exclude seed.
 	other.Severities = other.Severities[:1]
-	if _, err := mk().Run(ctx, other); err == nil {
-		t.Fatal("state dir from a different campaign was accepted")
+	if err := run(other); err == nil {
+		t.Fatal("state dir from a different cell enumeration was accepted")
+	}
+
+	// Identical cell names but different determinism knobs must be refused
+	// too: names don't encode any of these, the manifest ID does. Reusing
+	// the stale results would silently mix two campaigns' bytes.
+	knobs := map[string]func(*matrix.Spec){
+		"seed":        func(s *matrix.Spec) { s.Seed = 43 },
+		"runs":        func(s *matrix.Spec) { s.Runs = 3 },
+		"max-mission": func(s *matrix.Spec) { s.MaxMissionS = 9 },
+		"train":       func(s *matrix.Spec) { s.TrainEnvs = 5 },
+		"map-seed":    func(s *matrix.Spec) { s.MapSeed = "memo" },
+		"near-stride": func(s *matrix.Spec) { s.NearFieldStride = 4 },
+	}
+	for name, mutate := range knobs {
+		spec := fakeSpec()
+		mutate(&spec)
+		if err := run(spec); err == nil {
+			t.Errorf("state dir was reused for a spec with a different %s", name)
+		}
+	}
+
+	// The unchanged spec still resumes cleanly after all those refusals.
+	if err := run(fakeSpec()); err != nil {
+		t.Fatalf("unchanged spec no longer resumes: %v", err)
 	}
 }
 

@@ -14,10 +14,13 @@ import (
 )
 
 // campaignManifest is the persisted campaign.json: the campaign identity a
-// resumed dispatcher validates its spec against. Cell names are the
-// identity — results are pure functions of them — so a state directory
-// whose names match the current enumeration holds results that are valid
-// verbatim, and one that doesn't is a different campaign and is refused.
+// resumed dispatcher validates its spec against. The ID hashes every spec
+// knob results are a function of — the seed, the cell enumeration, and the
+// knobs cell names don't encode (runs, mission budget, training size,
+// map-seed mode, near-field stride) — so a state directory whose ID matches
+// the current spec holds results that are valid verbatim, and one that
+// doesn't is a different campaign and is refused. Cell names are persisted
+// alongside purely to make the refusal diagnosable.
 type campaignManifest struct {
 	ID    string   `json:"id"`
 	Cells []string `json:"cells"`
@@ -46,10 +49,12 @@ func (st campaignState) cellPath(i int) string {
 }
 
 // init writes (or validates) the campaign manifest and returns any
-// previously completed cells, keyed by index. A manifest naming different
-// cells is a hard error — silently mixing two campaigns' results would
-// break the byte-identity guarantee in the worst possible way.
-func (st campaignState) init(id string, cells []matrix.Cell) (map[int]*cellState, error) {
+// previously completed cells, keyed by index. A manifest whose ID differs
+// from the current spec's is a hard error — the names may still match
+// (they don't encode the seed, runs, or mission budget), and silently
+// mixing two campaigns' results would break the byte-identity guarantee
+// in the worst possible way.
+func (st campaignState) init(id string, runs int, cells []matrix.Cell) (map[int]*cellState, error) {
 	if st.dir == "" {
 		return nil, nil
 	}
@@ -71,7 +76,10 @@ func (st campaignState) init(id string, cells []matrix.Cell) (map[int]*cellState
 				return nil, fmt.Errorf("dispatch: state dir %s cell %d is %q, current spec enumerates %q", st.dir, i, n, names[i])
 			}
 		}
-		return st.load(cells)
+		if man.ID != id {
+			return nil, fmt.Errorf("dispatch: state dir %s holds campaign %s, current spec is %s (same cells, different seed/runs/budget/map-seed knobs); use a fresh -state-dir", st.dir, man.ID, id)
+		}
+		return st.load(runs, cells)
 	}
 	if err := os.MkdirAll(filepath.Join(st.dir, "cells"), 0o755); err != nil {
 		return nil, err
@@ -87,9 +95,10 @@ func (st campaignState) init(id string, cells []matrix.Cell) (map[int]*cellState
 }
 
 // load reads every persisted cell result, skipping files that are missing,
-// torn, or inconsistent with the enumeration — those cells simply re-run
+// torn, or inconsistent with the enumeration — including cells whose
+// mission count doesn't match the spec's Runs — those cells simply re-run
 // (re-execution is free of risk: it reproduces the same bytes).
-func (st campaignState) load(cells []matrix.Cell) (map[int]*cellState, error) {
+func (st campaignState) load(runs int, cells []matrix.Cell) (map[int]*cellState, error) {
 	done := make(map[int]*cellState)
 	for i, c := range cells {
 		b, err := os.ReadFile(st.cellPath(i))
@@ -100,7 +109,7 @@ func (st campaignState) load(cells []matrix.Cell) (map[int]*cellState, error) {
 		if err := json.Unmarshal(b, &cs); err != nil {
 			continue
 		}
-		if cs.Index != i || cs.Name != c.Name() || len(cs.Results) == 0 {
+		if cs.Index != i || cs.Name != c.Name() || len(cs.Results) != runs {
 			continue
 		}
 		done[i] = &cs

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -78,6 +79,66 @@ func TestDrainFinishesRunningAndInterruptsQueued(t *testing.T) {
 	// The drained server still serves status and artifacts read-only.
 	if _, code := getBody(t, ts, "/jobs/"+j1.ID+"/cell.csv"); code != http.StatusOK {
 		t.Errorf("cell.csv after drain: status %d", code)
+	}
+}
+
+func TestDrainNeverStrandsRacingSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real missions")
+	}
+	// Submissions racing a drain must either be rejected with errDraining
+	// or reach a terminal state — never slip into the queue after Drain's
+	// sweep and sit there forever with no consumer. Submit's authoritative
+	// draining check and the sweep share s.mu, which is what this stresses
+	// (especially under -race).
+	spec := testSpec()
+	spec.Runs = 1
+	for iter := 0; iter < 4; iter++ {
+		s, err := New(Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			mu       sync.Mutex
+			accepted []*Job
+			wg       sync.WaitGroup
+		)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j, err := s.Submit(spec)
+					switch err {
+					case nil:
+						mu.Lock()
+						accepted = append(accepted, j)
+						mu.Unlock()
+					case errQueueFull:
+						time.Sleep(100 * time.Microsecond)
+					default: // errDraining: the drain won the race
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(2 * time.Millisecond) // let some submissions land first
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		derr := s.Drain(ctx)
+		cancel()
+		wg.Wait()
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		deadline := time.After(60 * time.Second)
+		for _, j := range accepted {
+			select {
+			case <-j.finished:
+			case <-deadline:
+				t.Fatalf("iter %d: job %s stranded in state %q after drain", iter, j.ID, j.status().State)
+			}
+		}
+		s.Close()
 	}
 }
 

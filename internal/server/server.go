@@ -145,7 +145,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	// The executor has exited, so this loop is the queue's only consumer.
+	// The executor has exited, so this sweep is the queue's only consumer.
+	// It holds s.mu so it serializes against Submit's check-then-enqueue:
+	// a submission either observes draining under the lock and is rejected,
+	// or enqueued before the sweep and interrupted here — never enqueued
+	// after it, where the job would sit unconsumed forever.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for {
 		select {
 		case j := <-s.queue:
@@ -181,6 +187,13 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Re-checked under s.mu: the unlocked check above is a fast path, but
+	// only this one is ordered against Drain's queue sweep (which also
+	// holds s.mu), so a submission can never slip into the queue after the
+	// sweep has run and be left with no consumer.
+	if s.draining.Load() {
+		return nil, errDraining
+	}
 	id := fmt.Sprintf("job-%04d", s.next+1)
 	var recordDir string
 	if spec.Record {
